@@ -1,0 +1,362 @@
+package kronvalid
+
+import (
+	"io"
+
+	"kronvalid/internal/census"
+	"kronvalid/internal/distgen"
+	"kronvalid/internal/gen"
+	"kronvalid/internal/gio"
+	"kronvalid/internal/graph"
+	"kronvalid/internal/kron"
+	"kronvalid/internal/sparse"
+	"kronvalid/internal/stats"
+	"kronvalid/internal/triangle"
+	"kronvalid/internal/truss"
+	"kronvalid/internal/verify"
+)
+
+// ---- graphs ----
+
+// Graph is an explicit factor graph: compressed sorted adjacency with
+// optional self loops, direction, and vertex labels. Factor graphs are
+// small (they fit in memory); product graphs stay implicit in Product.
+type Graph = graph.Graph
+
+// Edge is a directed arc (or one orientation of an undirected edge).
+type Edge = graph.Edge
+
+// FromEdges builds a graph on n vertices from arcs, deduplicating; with
+// symmetrize it returns the undirected closure.
+func FromEdges(n int, edges []Edge, symmetrize bool) *Graph {
+	return graph.FromEdges(n, edges, symmetrize)
+}
+
+// Matrix is a CSR sparse integer matrix, the language the paper's
+// formulas are stated in. Statistics matrices (Δ_A, censuses) use it.
+type Matrix = sparse.Matrix
+
+// ---- generators ----
+
+// Clique returns K_n (Ex. 1).
+func Clique(n int) *Graph { return gen.Clique(n) }
+
+// CliqueWithLoops returns J_n, the clique with all self loops (Ex. 1).
+func CliqueWithLoops(n int) *Graph { return gen.CliqueWithLoops(n) }
+
+// HubCycle returns the Ex. 2 family: a c-cycle plus a hub adjacent to
+// every cycle vertex.
+func HubCycle(c int) *Graph { return gen.HubCycle(c) }
+
+// Path returns the n-vertex path.
+func Path(n int) *Graph { return gen.Path(n) }
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph { return gen.Cycle(n) }
+
+// Star returns the (n-1)-leaf star.
+func Star(n int) *Graph { return gen.Star(n) }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph { return gen.CompleteBipartite(a, b) }
+
+// ErdosRenyi returns G(n, p), deterministic in seed.
+func ErdosRenyi(n int, p float64, seed uint64) *Graph { return gen.ErdosRenyi(n, p, seed) }
+
+// BarabasiAlbert returns an n-vertex preferential-attachment graph with m
+// edges per arrival.
+func BarabasiAlbert(n, m int, seed uint64) *Graph { return gen.BarabasiAlbert(n, m, seed) }
+
+// WebGraph returns a scale-free graph with triad closure (probability pt
+// per attachment): the offline stand-in for the paper's web-NotreDame
+// factor.
+func WebGraph(n, m int, pt float64, seed uint64) *Graph { return gen.WebGraph(n, m, pt, seed) }
+
+// RMAT returns a stochastic-Kronecker (R-MAT) graph: the Rem. 1 baseline.
+func RMAT(scale int, edges int64, a, b, c, d float64, seed uint64) *Graph {
+	return gen.RMAT(scale, edges, a, b, c, d, seed)
+}
+
+// Graph500RMAT returns an R-MAT graph with Graph500 parameters.
+func Graph500RMAT(scale int, seed uint64) *Graph { return gen.Graph500RMAT(scale, seed) }
+
+// ChungLu samples the edge-independent null model with a prescribed
+// expected degree sequence (the Rem. 1 stochastic baseline).
+func ChungLu(degrees []int64, seed uint64) *Graph { return gen.ChungLu(degrees, seed) }
+
+// ExpectedTrianglesChungLu returns the analytic expected triangle count
+// of the edge-independent null with the given degrees.
+func ExpectedTrianglesChungLu(degrees []int64) float64 {
+	return gen.ExpectedTrianglesChungLu(degrees)
+}
+
+// TriangleLimitedPA returns the paper's §III.D(b) generator: a connected
+// power-law graph in which every edge closes at most one triangle
+// (the Thm. 3 hypothesis for factor B).
+func TriangleLimitedPA(n int, seed uint64) *Graph { return gen.TriangleLimitedPA(n, seed) }
+
+// ThinToDeltaOne is §III.D(a): deletes edges of an arbitrary undirected
+// graph until Δ ≤ 1 everywhere, preserving connectivity via a protected
+// spanning forest.
+func ThinToDeltaOne(g *Graph, seed uint64) *Graph { return gen.ThinToDeltaOne(g, seed) }
+
+// MaxEdgeTriangles reports the largest per-edge triangle count (the Δ ≤ 1
+// checker).
+func MaxEdgeTriangles(g *Graph) int64 { return gen.MaxEdgeTriangles(g) }
+
+// ---- direct (explicit-graph) statistics ----
+
+// TriangleResult is the exact triangle statistics of an explicit graph.
+type TriangleResult = triangle.Result
+
+// CountTriangles computes t_A, Δ_A, τ(A) and the wedge-check cost for an
+// explicit undirected graph.
+func CountTriangles(g *Graph) *TriangleResult { return triangle.Count(g) }
+
+// LocalClusteringCoefficients returns per-vertex clustering coefficients.
+func LocalClusteringCoefficients(g *Graph) []float64 {
+	return triangle.LocalClusteringCoefficients(g)
+}
+
+// GlobalClusteringCoefficient returns the transitivity 3τ/#wedges.
+func GlobalClusteringCoefficient(g *Graph) float64 {
+	return triangle.GlobalClusteringCoefficient(g)
+}
+
+// TrussDecomposition is the truss decomposition of an explicit graph.
+type TrussDecomposition = truss.Decomposition
+
+// DecomposeTruss peels an explicit undirected graph into its κ-trusses.
+func DecomposeTruss(g *Graph) *TrussDecomposition { return truss.Decompose(g) }
+
+// ---- the Kronecker product and its ground-truth formulas ----
+
+// Product is the implicit Kronecker product C = A ⊗ B.
+type Product = kron.Product
+
+// NewProduct validates factors and returns the implicit product.
+func NewProduct(a, b *Graph) (*Product, error) { return kron.NewProduct(a, b) }
+
+// MustProduct is NewProduct that panics on invalid factors.
+func MustProduct(a, b *Graph) *Product { return kron.MustProduct(a, b) }
+
+// VertexStat is a per-vertex product statistic in Kronecker-sum form,
+// evaluated lazily: At(p) is O(#terms) regardless of product size.
+type VertexStat = kron.KronVecSum
+
+// EdgeStat is a per-edge product statistic in Kronecker-sum form.
+type EdgeStat = kron.KronMatSum
+
+// FactorStats bundles t, Δ, diag(B³) and B∘B² for one factor.
+type FactorStats = kron.FactorTriangleStats
+
+// ComputeFactorStats runs the triangle engine and sparse kernels on one
+// factor; reuse the result across formulas.
+func ComputeFactorStats(g *Graph) *FactorStats { return kron.ComputeFactorStats(g) }
+
+// VertexParticipation returns the exact t_C for any undirected factors
+// (all self-loop regimes; Thm. 1, Cor. 1 and the general expansion).
+func VertexParticipation(p *Product) (*VertexStat, error) { return kron.VertexParticipation(p) }
+
+// EdgeParticipation returns the exact Δ_C (Thm. 2, Cor. 2, general).
+func EdgeParticipation(p *Product) (*EdgeStat, error) { return kron.EdgeParticipation(p) }
+
+// TriangleTotal returns the exact τ(C) with overflow checking.
+func TriangleTotal(p *Product) (int64, error) { return kron.TriangleTotal(p) }
+
+// ProductWedgeCount returns the exact wedge count of C in O(n_A + n_B).
+func ProductWedgeCount(p *Product) (int64, error) { return kron.WedgeCount(p) }
+
+// ProductGlobalClustering returns the exact transitivity of C without
+// materializing it.
+func ProductGlobalClustering(p *Product) (float64, error) { return kron.GlobalClustering(p) }
+
+// ProductLocalClustering returns an O(1)-per-query local clustering
+// coefficient evaluator over all n_A·n_B product vertices.
+func ProductLocalClustering(p *Product) (func(v int64) float64, error) {
+	return kron.LocalClustering(p)
+}
+
+// OutDegrees returns d^out_C = d^out_A ⊗ d^out_B.
+func OutDegrees(p *Product) *VertexStat { return kron.OutDegrees(p) }
+
+// InDegrees returns d^in_C = d^in_A ⊗ d^in_B.
+func InDegrees(p *Product) *VertexStat { return kron.InDegrees(p) }
+
+// ---- k-fold products (the repeated-power construction of [3]) ----
+
+// MultiProduct is the k-fold implicit product B_1 ⊗ … ⊗ B_k.
+type MultiProduct = kron.MultiProduct
+
+// NewMultiProduct validates factors and returns the k-fold product.
+func NewMultiProduct(factors ...*Graph) (*MultiProduct, error) {
+	return kron.NewMultiProduct(factors...)
+}
+
+// KroneckerPower returns B ⊗ B ⊗ … ⊗ B (k copies).
+func KroneckerPower(b *Graph, k int) (*MultiProduct, error) { return kron.KroneckerPower(b, k) }
+
+// MultiVertexStat is a per-vertex statistic of a k-fold product.
+type MultiVertexStat = kron.MultiVecSum
+
+// MultiVertexParticipation returns t_C for a k-fold product (all
+// self-loop regimes).
+func MultiVertexParticipation(p *MultiProduct) (*MultiVertexStat, error) {
+	return kron.MultiVertexParticipation(p)
+}
+
+// MultiTriangleTotal returns exact τ of a k-fold product; loop-free
+// factors give 6^{k-1}·Π τ(B_i).
+func MultiTriangleTotal(p *MultiProduct) (int64, error) { return kron.MultiTriangleTotal(p) }
+
+// MultiEdgeDelta returns a per-arc Δ_C evaluator for a k-fold product.
+func MultiEdgeDelta(p *MultiProduct) (func(u, v int64) int64, error) {
+	return kron.MultiEdgeDelta(p)
+}
+
+// ---- validation (the paper's §VI workflow as a library) ----
+
+// ValidationReport collects named check outcomes.
+type ValidationReport = verify.Report
+
+// ValidateFull materializes C (within limits) and cross-checks every
+// applicable formula against structure-oblivious recomputation.
+func ValidateFull(p *Product, maxVertices, maxArcs int64) (*ValidationReport, error) {
+	return verify.Full(p, maxVertices, maxArcs)
+}
+
+// ValidateSampled spot-checks an arbitrarily large product by egonet and
+// per-edge recounts.
+func ValidateSampled(p *Product, vertexSamples, edgeSamples int, maxDegree int64, seed uint64) (*ValidationReport, error) {
+	return verify.Sampled(p, vertexSamples, edgeSamples, maxDegree, seed)
+}
+
+// ---- directed and labeled censuses of the product ----
+
+// DirVertexType is one of the 15 directed triangle types at a vertex
+// (Fig. 4).
+type DirVertexType = census.VertexType
+
+// DirEdgeType is one of the 15 directed triangle types at an edge
+// (Fig. 5).
+type DirEdgeType = census.EdgeType
+
+// LabelVertexType identifies a labeled triangle at a vertex (Fig. 6).
+type LabelVertexType = census.LabelVertexType
+
+// LabelEdgeType identifies a labeled triangle at an edge (Fig. 6).
+type LabelEdgeType = census.LabelEdgeType
+
+// AllDirVertexTypes lists the canonical directed vertex types.
+func AllDirVertexTypes() []DirVertexType { return census.AllVertexTypes() }
+
+// AllDirEdgeTypes lists the canonical directed edge types.
+func AllDirEdgeTypes() []DirEdgeType { return census.AllEdgeTypes() }
+
+// DirectedStats is the Kronecker-derived directed census of the product.
+type DirectedStats = kron.DirectedStats
+
+// DirectedCensus computes all 30 directed type statistics of C = A ⊗ B
+// (Thm. 4 and Thm. 5: A loop-free, B undirected).
+func DirectedCensus(p *Product) (*DirectedStats, error) { return kron.DirectedCensus(p) }
+
+// DirectedVertexCensusOf computes the 15 per-vertex type counts of an
+// explicit directed graph.
+func DirectedVertexCensusOf(g *Graph) *census.VertexCensus {
+	return census.DirectedVertexCensus(g)
+}
+
+// DirectedEdgeCensusOf computes the 15 per-edge type count matrices of an
+// explicit directed graph.
+func DirectedEdgeCensusOf(g *Graph) *census.EdgeCensus {
+	return census.DirectedEdgeCensus(g)
+}
+
+// LabeledStats is the Kronecker-derived labeled census of the product.
+type LabeledStats = kron.LabeledStats
+
+// LabeledCensus computes all labeled type statistics of C = A ⊗ B
+// (Thm. 6 and Thm. 7: A labeled loop-free undirected, B unlabeled).
+func LabeledCensus(p *Product) (*LabeledStats, error) { return kron.LabeledCensus(p) }
+
+// ---- truss ground truth (Thm. 3) ----
+
+// ProductTruss is the implicit truss decomposition of C under Δ_B ≤ 1.
+type ProductTruss = kron.ProductTruss
+
+// ProductTrussDecomposition validates Thm. 3's hypotheses and returns the
+// implicit decomposition.
+func ProductTrussDecomposition(p *Product) (*ProductTruss, error) {
+	return kron.TrussDecomposition(p)
+}
+
+// ---- egonets (the §VI validation device) ----
+
+// Egonet is an induced neighborhood subgraph of one product vertex.
+type Egonet = kron.Egonet
+
+// ExtractEgonet builds the egonet of product vertex v without
+// materializing C.
+func ExtractEgonet(p *Product, v int64, maxDegree int64) (*Egonet, error) {
+	return kron.ExtractEgonet(p, v, maxDegree)
+}
+
+// VerifyEgonet extracts an egonet and checks its center triangle count
+// against the formula value.
+func VerifyEgonet(p *Product, t *VertexStat, v int64, maxDegree int64) (*Egonet, error) {
+	return kron.VerifyEgonet(p, t, v, maxDegree)
+}
+
+// ---- distributed-style generation ----
+
+// GenPlan is a deterministic communication-free partition of the product
+// edge stream across workers.
+type GenPlan = distgen.Plan
+
+// GenArc is one directed product edge emitted by a GenPlan shard.
+type GenArc = distgen.Arc
+
+// NewGenPlan builds a plan for the given worker count (0 = GOMAXPROCS).
+func NewGenPlan(p *Product, workers int) *GenPlan { return distgen.NewPlan(p, workers) }
+
+// ---- I/O ----
+
+// WriteEdgeList writes a graph's arcs as TSV.
+func WriteEdgeList(w io.Writer, g *Graph) error { return gio.WriteEdgeList(w, g) }
+
+// ReadEdgeList parses a TSV edge list on n vertices.
+func ReadEdgeList(r io.Reader, n int, symmetrize bool) (*Graph, error) {
+	return gio.ReadEdgeList(r, n, symmetrize)
+}
+
+// WriteGraphBinary serializes a factor graph compactly: the whole point
+// of the Kronecker approach is that shipping factors (MBs) ships the
+// product (up to ~10^18 edges).
+func WriteGraphBinary(w io.Writer, g *Graph) error { return gio.WriteGraphBinary(w, g) }
+
+// ReadGraphBinary deserializes a factor written by WriteGraphBinary.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return gio.ReadGraphBinary(r) }
+
+// GraphStats is a JSON-serializable summary row (the §VI table format).
+type GraphStats = gio.GraphStats
+
+// ---- distribution analysis (§III.A) ----
+
+// Histogram is an integer-value histogram with Kronecker composition.
+type Histogram = stats.Histogram
+
+// NewHistogram builds a histogram from values.
+func NewHistogram(values []int64) *Histogram { return stats.NewHistogram(values) }
+
+// KronHistogram composes two histograms into the histogram of the
+// Kronecker product of their samples — degree distributions of C without
+// touching n_C values.
+func KronHistogram(hu, hv *Histogram) *Histogram { return stats.KronHistogram(hu, hv) }
+
+// MaxDegreeRatio returns ‖d‖∞/n (the quantity §III.A shows is squared by
+// the product).
+func MaxDegreeRatio(degrees []int64) float64 { return stats.MaxDegreeRatio(degrees) }
+
+// HillEstimator estimates a heavy-tail exponent from the k largest
+// observations.
+func HillEstimator(values []int64, k int) float64 { return stats.HillEstimator(values, k) }

@@ -1,0 +1,60 @@
+// Paperrepro regenerates every table and figure of the paper's
+// evaluation, printing paper-style output. Experiments (see DESIGN.md §4
+// for the index):
+//
+//	table1   §VI statistics table (A, B=A+I, A⊗A, A⊗B) + timing      [E1,E10]
+//	fig7     nine egonets of two products, degrees + triangle counts [E2]
+//	ex1      Ex. 1(a)-(c) clique closed forms                        [E3]
+//	ex2      Ex. 2 hub-cycle edge histogram and truss structure      [E4]
+//	thm3     truss ground-truth generation with Δ_B ≤ 1              [E5]
+//	census   directed (Thm. 4/5) and labeled (Thm. 6/7) censuses     [E6,E7]
+//	degrees  §III.A degree distributions and max-ratio squaring      [E8]
+//	rem1     stochastic Kronecker (R-MAT) vs nonstochastic triangles [E9]
+//	power    k-fold Kronecker powers ([3]'s construction)            [extension]
+//	all      everything above
+//
+// Usage: paperrepro -exp table1 -n 32768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperrepro: ")
+	exp := flag.String("exp", "all", "experiment id (table1 fig7 ex1 ex2 thm3 census degrees rem1 all)")
+	n := flag.Int("n", 1<<14, "web-factor vertices for the large experiments")
+	seed := flag.Uint64("seed", 2018, "generator seed")
+	flag.Parse()
+
+	run := map[string]func(int, uint64){
+		"table1":  expTable1,
+		"fig7":    expFig7,
+		"ex1":     expEx1,
+		"ex2":     expEx2,
+		"thm3":    expThm3,
+		"census":  expCensus,
+		"degrees": expDegrees,
+		"rem1":    expRem1,
+		"power":   expPower,
+	}
+	order := []string{"table1", "fig7", "ex1", "ex2", "thm3", "census", "degrees", "rem1", "power"}
+	if *exp == "all" {
+		for _, id := range order {
+			fmt.Printf("================ %s ================\n", id)
+			run[id](*n, *seed)
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		log.Printf("unknown experiment %q; available: %v all", *exp, order)
+		os.Exit(2)
+	}
+	f(*n, *seed)
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a scale-free factor, form the implicit Kronecker
+// product C = A ⊗ A, and read exact ground-truth triangle statistics of a
+// graph six orders of magnitude larger than anything materialized here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kronvalid"
+)
+
+func main() {
+	n := flag.Int("n", 1<<12, "factor vertices")
+	m := flag.Int("m", 4, "attachments per vertex")
+	pt := flag.Float64("pt", 0.7, "triad-closure probability")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	// 1. A modest scale-free factor with heavy clustering.
+	a := kronvalid.WebGraph(*n, *m, *pt, *seed)
+	sa := kronvalid.CountTriangles(a)
+	fmt.Printf("factor A: %d vertices, %d edges, %d triangles (%d wedge checks)\n",
+		a.NumVertices(), a.NumEdgesUndirected(), sa.Total, sa.WedgeChecks)
+
+	// 2. The implicit product C = A ⊗ A. Nothing below materializes it.
+	p := kronvalid.MustProduct(a, a)
+	fmt.Printf("product C = A⊗A: %d vertices, %d undirected edges\n",
+		p.NumVertices(), p.NumEdgesUndirected())
+
+	// 3. Exact ground truth from the Kronecker formulas.
+	total, err := kronvalid.TriangleTotal(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact τ(C) = %d  (= 6·τ(A)² = 6·%d²)\n", total, sa.Total)
+
+	tc, err := kronvalid.VertexParticipation(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Query any vertex in O(1): here, the busiest one.
+	maxDeg, argmax := p.MaxDegree()
+	fmt.Printf("max degree %d at product vertex %d, which sits in %d triangles\n",
+		maxDeg, argmax, tc.At(argmax))
+
+	// 5. Spot-validate the formula with an egonet, exactly as the paper's
+	// §VI experiment does: extract vertex 1's neighborhood from the
+	// factors and count its triangles directly.
+	ego, err := kronvalid.VerifyEgonet(p, tc, 1, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("egonet check at vertex 1: degree %d, %d local triangles — matches formula\n",
+		ego.Degree, ego.LocalTriangles)
+
+	// 6. Stream a few edges of the trillion-scale edge list.
+	fmt.Println("first 5 arcs of C:")
+	count := 0
+	p.EachArc(func(u, v int64) bool {
+		fmt.Printf("  %d -> %d\n", u, v)
+		count++
+		return count < 5
+	})
+}

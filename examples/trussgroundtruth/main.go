@@ -1,0 +1,67 @@
+// Trussgroundtruth demonstrates Thm. 3: generating a large graph whose
+// complete truss decomposition is known in advance. Factor B comes from
+// the paper's §III.D(b) preferential-attachment generator (every edge in
+// at most one triangle); factor A is arbitrary. The trussness of every
+// edge of C = A ⊗ B is then read off A's decomposition — and the program
+// cross-checks a materialized instance against direct peeling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kronvalid"
+)
+
+func main() {
+	nA := flag.Int("na", 60, "vertices of dense factor A")
+	pA := flag.Float64("pa", 0.25, "edge probability of A")
+	nB := flag.Int("nb", 40, "vertices of Δ≤1 factor B")
+	seed := flag.Uint64("seed", 7, "generator seed")
+	verify := flag.Bool("verify", true, "materialize C and verify by direct peeling")
+	flag.Parse()
+
+	a := kronvalid.ErdosRenyi(*nA, *pA, *seed)
+	b := kronvalid.TriangleLimitedPA(*nB, *seed+1)
+	fmt.Printf("A: ER(%d, %.2f) with %d edges; max Δ_A = %d\n",
+		*nA, *pA, a.NumEdgesUndirected(), kronvalid.MaxEdgeTriangles(a))
+	fmt.Printf("B: §III.D(b) generator, %d vertices, %d edges; max Δ_B = %d (hypothesis of Thm. 3)\n",
+		*nB, b.NumEdgesUndirected(), kronvalid.MaxEdgeTriangles(b))
+
+	p := kronvalid.MustProduct(a, b)
+	pt, err := kronvalid.ProductTrussDecomposition(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nC = A⊗B: %d vertices, %d edges, ground-truth truss known for every edge\n",
+		p.NumVertices(), p.NumEdgesUndirected())
+	fmt.Printf("max κ with non-empty κ-truss: %d\n", pt.MaxK())
+	fmt.Println("κ-truss sizes from the Kronecker formula:")
+	sizes := pt.TrussSizes()
+	for k := 3; k <= pt.MaxK(); k++ {
+		fmt.Printf("  |T^(%d)| = %d edges\n", k, sizes[k])
+	}
+
+	if !*verify {
+		return
+	}
+	c, err := p.Materialize(200_000, 40_000_000)
+	if err != nil {
+		log.Fatalf("factors too large to verify explicitly: %v (rerun with -verify=false)", err)
+	}
+	direct := kronvalid.DecomposeTruss(c)
+	mismatches := 0
+	c.EachEdgeUndirected(func(u, v int32) bool {
+		if pt.EdgeTruss(int64(u), int64(v)) != direct.EdgeTruss(u, v) {
+			mismatches++
+		}
+		return true
+	})
+	fmt.Printf("\nverification against direct peeling of the %d-edge product: %d mismatches\n",
+		c.NumEdgesUndirected(), mismatches)
+	if mismatches > 0 {
+		log.Fatal("Thm. 3 verification FAILED")
+	}
+	fmt.Println("Thm. 3 verified edge-by-edge ✓")
+}

@@ -1,0 +1,149 @@
+package kronvalid
+
+// End-to-end integration properties: random factor pairs drawn from the
+// full generator zoo, pushed through complete validation. This is the
+// library eating its own dog food — every formula checked against
+// structure-oblivious recomputation on every randomly drawn product.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kronvalid/internal/rng"
+)
+
+// drawFactor picks a random small factor from the generator zoo.
+func drawFactor(g *rng.Xoshiro256) *Graph {
+	switch g.Intn(8) {
+	case 0:
+		return Clique(3 + g.Intn(4))
+	case 1:
+		return CliqueWithLoops(3 + g.Intn(3))
+	case 2:
+		return HubCycle(3 + g.Intn(3))
+	case 3:
+		return ErdosRenyi(5+g.Intn(8), 0.35, g.Uint64())
+	case 4:
+		return TriangleLimitedPA(5+g.Intn(8), g.Uint64())
+	case 5:
+		return WebGraph(8+g.Intn(8), 2, 0.6, g.Uint64())
+	case 6:
+		return Cycle(3 + g.Intn(5))
+	default:
+		return ErdosRenyi(5+g.Intn(6), 0.4, g.Uint64()).WithAllLoops()
+	}
+}
+
+func TestQuickEndToEndValidation(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		a := drawFactor(g)
+		b := drawFactor(g)
+		p, err := NewProduct(a, b)
+		if err != nil {
+			return false
+		}
+		r, err := ValidateFull(p, 3000, 1_000_000)
+		if err != nil {
+			// Only acceptable failure: too large to materialize, which
+			// cannot happen with these factor sizes.
+			return false
+		}
+		if !r.AllPassed() {
+			t.Logf("seed %d: failures %v", seed, r.Failures())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLabeledEndToEnd(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		base := ErdosRenyi(5+g.Intn(6), 0.4, g.Uint64())
+		labels := make([]int32, base.NumVertices())
+		for i := range labels {
+			labels[i] = int32(g.Intn(3))
+		}
+		a := base.WithLabels(labels, 3)
+		b := drawFactor(g)
+		if !b.IsSymmetric() {
+			return true
+		}
+		p, err := NewProduct(a, b)
+		if err != nil {
+			return false
+		}
+		r, err := ValidateFull(p, 3000, 1_000_000)
+		if err != nil {
+			return false
+		}
+		return r.AllPassed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDirectedEndToEnd(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		// Random directed factor with mixed reciprocity, loop-free.
+		n := 5 + g.Intn(7)
+		var arcs []Edge
+		for i := 0; i < n*3; i++ {
+			u, v := int32(g.Intn(n)), int32(g.Intn(n))
+			if u == v {
+				continue
+			}
+			arcs = append(arcs, Edge{U: u, V: v})
+			if g.Bool() {
+				arcs = append(arcs, Edge{U: v, V: u})
+			}
+		}
+		a := FromEdges(n, arcs, false)
+		b := drawFactor(g)
+		if !b.IsSymmetric() {
+			return true
+		}
+		p, err := NewProduct(a, b)
+		if err != nil {
+			return false
+		}
+		r, err := ValidateFull(p, 3000, 1_000_000)
+		if err != nil {
+			return false
+		}
+		return r.AllPassed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickShardingConsistency draws random products and asserts sharded
+// generation always reproduces the serial stream.
+func TestQuickShardingConsistency(t *testing.T) {
+	f := func(seed uint64, workersRaw uint8) bool {
+		g := rng.New(seed)
+		a := drawFactor(g)
+		b := drawFactor(g)
+		p, err := NewProduct(a, b)
+		if err != nil {
+			return false
+		}
+		workers := 1 + int(workersRaw)%12
+		plan := NewGenPlan(p, workers)
+		var sharded int64
+		for w := 0; w < plan.Workers(); w++ {
+			sharded += plan.ShardSize(w)
+		}
+		return sharded == p.NumArcs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

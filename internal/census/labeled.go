@@ -1,0 +1,206 @@
+package census
+
+import (
+	"fmt"
+
+	"kronvalid/internal/graph"
+	"kronvalid/internal/sparse"
+	"kronvalid/internal/triangle"
+)
+
+// LabelVertexType identifies a labeled triangle from a vertex's
+// perspective (Fig. 6): the central vertex's label Q1 and the unordered
+// pair of labels {Q2, Q3} (stored with Q2 <= Q3) of the other two
+// vertices. For |L| labels there are |L| * C(|L|+1, 2) such types.
+type LabelVertexType struct {
+	Q1, Q2, Q3 int32
+}
+
+func (t LabelVertexType) String() string {
+	return fmt.Sprintf("(%d|%d,%d)", t.Q1, t.Q2, t.Q3)
+}
+
+// NewLabelVertexType canonicalizes the unordered pair.
+func NewLabelVertexType(q1, q2, q3 int32) LabelVertexType {
+	if q2 > q3 {
+		q2, q3 = q3, q2
+	}
+	return LabelVertexType{q1, q2, q3}
+}
+
+// LabelEdgeType identifies a labeled triangle from an edge's perspective:
+// the arc (i, j) has row-end label Q2 = f(i), column-end label Q1 = f(j),
+// and the opposite vertex has label Q3 (Def. 14: Δ^(q1,q2,q3) =
+// (Π_q2 A Π_q1) ∘ (A Π_q3 A)). For an edge with given endpoint labels
+// there are |L| types, one per Q3.
+type LabelEdgeType struct {
+	Q1, Q2, Q3 int32
+}
+
+func (t LabelEdgeType) String() string {
+	return fmt.Sprintf("(%d<-%d|%d)", t.Q1, t.Q2, t.Q3)
+}
+
+// AllLabelVertexTypes enumerates the canonical vertex types for a label
+// set of size L.
+func AllLabelVertexTypes(L int) []LabelVertexType {
+	var out []LabelVertexType
+	for q1 := int32(0); q1 < int32(L); q1++ {
+		for q2 := int32(0); q2 < int32(L); q2++ {
+			for q3 := q2; q3 < int32(L); q3++ {
+				out = append(out, LabelVertexType{q1, q2, q3})
+			}
+		}
+	}
+	return out
+}
+
+// AllLabelEdgeTypes enumerates the edge types for a label set of size L.
+func AllLabelEdgeTypes(L int) []LabelEdgeType {
+	var out []LabelEdgeType
+	for q1 := int32(0); q1 < int32(L); q1++ {
+		for q2 := int32(0); q2 < int32(L); q2++ {
+			for q3 := int32(0); q3 < int32(L); q3++ {
+				out = append(out, LabelEdgeType{q1, q2, q3})
+			}
+		}
+	}
+	return out
+}
+
+// LabeledVertexCensus computes per-vertex counts of every labeled
+// triangle type via the Def. 13 formulas:
+//
+//	t^(q1,q2,q3) = diag(Π_q1 A Π_q3 A Π_q2 A Π_q1)        (q2 != q3)
+//	t^(q1,q2,q2) = ½ diag(Π_q1 A Π_q2 A Π_q2 A Π_q1)
+//
+// The graph must be labeled and undirected; self loops are ignored.
+func LabeledVertexCensus(g *graph.Graph) map[LabelVertexType][]int64 {
+	if !g.IsLabeled() {
+		panic("census: LabeledVertexCensus requires a labeled graph")
+	}
+	if !g.IsSymmetric() {
+		panic("census: LabeledVertexCensus requires an undirected graph")
+	}
+	work := g.WithoutLoops()
+	a := work.ToSparse()
+	L := g.NumLabels()
+	pi := make([]*sparse.Matrix, L)
+	filtered := make([]*sparse.Matrix, L) // A·Π_q (columns filtered)
+	for q := 0; q < L; q++ {
+		pi[q] = g.LabelFilter(int32(q))
+		filtered[q] = a.Mul(pi[q])
+	}
+	out := map[LabelVertexType][]int64{}
+	for _, t := range AllLabelVertexTypes(L) {
+		// diag(Π_q1 · (A Π_q3) · (A Π_q2) · (A Π_q1)): the walk leaves a
+		// q1 vertex, visits a q3 vertex, then a q2 vertex, and returns.
+		// Wait — reading right to left, the first step A Π_q1 filters the
+		// *start*; we compose so the intermediate labels are q2 then q3
+		// in walk order, matching the enumeration convention (the two are
+		// equal counts since {q2,q3} is unordered).
+		prod := sparse.Diag3(filtered[t.Q3], filtered[t.Q2], filtered[t.Q1])
+		counts := make([]int64, len(prod))
+		for v := range prod {
+			if g.Label(int32(v)) != t.Q1 {
+				continue // Π_q1 projection on both sides
+			}
+			x := prod[v]
+			if t.Q2 == t.Q3 {
+				if x%2 != 0 {
+					panic("census: odd labeled count for equal pair labels")
+				}
+				x /= 2
+			}
+			counts[v] = x
+		}
+		out[t] = counts
+	}
+	return out
+}
+
+// LabeledVertexCensusEnum is the enumeration-based reference for
+// LabeledVertexCensus.
+func LabeledVertexCensusEnum(g *graph.Graph) map[LabelVertexType][]int64 {
+	if !g.IsLabeled() {
+		panic("census: LabeledVertexCensusEnum requires a labeled graph")
+	}
+	work := g.WithoutLoops()
+	n := work.NumVertices()
+	out := map[LabelVertexType][]int64{}
+	for _, t := range AllLabelVertexTypes(g.NumLabels()) {
+		out[t] = make([]int64, n)
+	}
+	triangle.EachTriangle(work, func(u, v, w int32) {
+		for _, p := range [3][3]int32{{u, v, w}, {v, u, w}, {w, u, v}} {
+			center, x, y := p[0], p[1], p[2]
+			t := NewLabelVertexType(g.Label(center), g.Label(x), g.Label(y))
+			out[t][center]++
+		}
+	})
+	return out
+}
+
+// LabeledEdgeCensus computes per-edge counts of every labeled triangle
+// type via Def. 14: Δ^(q1,q2,q3) = (Π_q2 A Π_q1) ∘ (A Π_q3 A).
+func LabeledEdgeCensus(g *graph.Graph) map[LabelEdgeType]*sparse.Matrix {
+	if !g.IsLabeled() {
+		panic("census: LabeledEdgeCensus requires a labeled graph")
+	}
+	if !g.IsSymmetric() {
+		panic("census: LabeledEdgeCensus requires an undirected graph")
+	}
+	work := g.WithoutLoops()
+	a := work.ToSparse()
+	L := g.NumLabels()
+	pi := make([]*sparse.Matrix, L)
+	for q := 0; q < L; q++ {
+		pi[q] = g.LabelFilter(int32(q))
+	}
+	out := map[LabelEdgeType]*sparse.Matrix{}
+	for _, t := range AllLabelEdgeTypes(L) {
+		edgePart := pi[t.Q2].Mul(a).Mul(pi[t.Q1])
+		wedgePart := a.Mul(pi[t.Q3]).Mul(a)
+		out[t] = edgePart.Hadamard(wedgePart)
+	}
+	return out
+}
+
+// LabeledEdgeCensusEnum is the enumeration-based reference for
+// LabeledEdgeCensus.
+func LabeledEdgeCensusEnum(g *graph.Graph) map[LabelEdgeType]*sparse.Matrix {
+	if !g.IsLabeled() {
+		panic("census: LabeledEdgeCensusEnum requires a labeled graph")
+	}
+	work := g.WithoutLoops()
+	n := work.NumVertices()
+	counts := map[LabelEdgeType]map[[2]int32]int64{}
+	record := func(i, j, w int32) {
+		// Arc (i,j): Q2 = f(i) (row end), Q1 = f(j) (column end),
+		// Q3 = f(w).
+		t := LabelEdgeType{Q1: g.Label(j), Q2: g.Label(i), Q3: g.Label(w)}
+		m := counts[t]
+		if m == nil {
+			m = map[[2]int32]int64{}
+			counts[t] = m
+		}
+		m[[2]int32{i, j}]++
+	}
+	triangle.EachTriangle(work, func(u, v, w int32) {
+		record(u, v, w)
+		record(v, u, w)
+		record(u, w, v)
+		record(w, u, v)
+		record(v, w, u)
+		record(w, v, u)
+	})
+	out := map[LabelEdgeType]*sparse.Matrix{}
+	for _, t := range AllLabelEdgeTypes(g.NumLabels()) {
+		var ts []sparse.Triplet
+		for k, v := range counts[t] {
+			ts = append(ts, sparse.Triplet{Row: int(k[0]), Col: int(k[1]), Val: v})
+		}
+		out[t] = sparse.FromTriplets(n, n, ts)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package distgen
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"kronvalid/internal/gen"
+	"kronvalid/internal/kron"
+)
+
+func plan(t *testing.T, workers int) (*Plan, *kron.Product) {
+	t.Helper()
+	a := gen.WebGraph(40, 3, 0.6, 3)
+	b := gen.HubCycle(5)
+	p := kron.MustProduct(a, b)
+	return NewPlan(p, workers), p
+}
+
+func TestShardSizesSumToTotal(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		pl, p := plan(t, w)
+		var sum int64
+		for i := 0; i < pl.Workers(); i++ {
+			sum += pl.ShardSize(i)
+		}
+		if sum != pl.TotalArcs() || sum != p.NumArcs() {
+			t.Fatalf("workers=%d: shard sizes sum %d, total %d, product %d",
+				w, sum, pl.TotalArcs(), p.NumArcs())
+		}
+	}
+}
+
+func TestShardsReproduceSerialStream(t *testing.T) {
+	for _, w := range []int{1, 2, 5, 13} {
+		pl, p := plan(t, w)
+		all := pl.CollectAll()
+		var serial []Arc
+		p.EachArc(func(u, v int64) bool {
+			serial = append(serial, Arc{u, v})
+			return true
+		})
+		sort.Slice(serial, func(a, b int) bool {
+			if serial[a].U != serial[b].U {
+				return serial[a].U < serial[b].U
+			}
+			return serial[a].V < serial[b].V
+		})
+		if len(all) != len(serial) {
+			t.Fatalf("workers=%d: %d arcs vs serial %d", w, len(all), len(serial))
+		}
+		for i := range all {
+			if all[i] != serial[i] {
+				t.Fatalf("workers=%d: arc %d differs: %v vs %v", w, i, all[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestShardsDisjoint(t *testing.T) {
+	pl, _ := plan(t, 4)
+	seen := map[Arc]int{}
+	for w := 0; w < pl.Workers(); w++ {
+		pl.EachShardArc(w, func(a Arc) bool {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("arc %v in shards %d and %d", a, prev, w)
+			}
+			seen[a] = w
+			return true
+		})
+	}
+}
+
+func TestShardDeterminism(t *testing.T) {
+	pl, _ := plan(t, 3)
+	for w := 0; w < pl.Workers(); w++ {
+		var a, b bytes.Buffer
+		if _, err := pl.WriteShard(w, &a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pl.WriteShard(w, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("shard %d not reproducible", w)
+		}
+	}
+}
+
+func TestPartitionIndependentOfWorkerCount(t *testing.T) {
+	// The union of arcs must be identical for every worker count.
+	pl2, _ := plan(t, 2)
+	pl9, _ := plan(t, 9)
+	a2 := pl2.CollectAll()
+	a9 := pl9.CollectAll()
+	if len(a2) != len(a9) {
+		t.Fatalf("arc counts differ: %d vs %d", len(a2), len(a9))
+	}
+	for i := range a2 {
+		if a2[i] != a9[i] {
+			t.Fatalf("arc %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestWriteShardFormat(t *testing.T) {
+	pl, _ := plan(t, 2)
+	var buf bytes.Buffer
+	n, err := pl.WriteShard(0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if int64(lines) != n || n != pl.ShardSize(0) {
+		t.Fatalf("wrote %d lines, reported %d, shard size %d", lines, n, pl.ShardSize(0))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pl, _ := plan(t, 1)
+	count := 0
+	pl.EachShardArc(0, func(a Arc) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d arcs", count)
+	}
+}
+
+func TestBinaryShardRoundTrip(t *testing.T) {
+	pl, _ := plan(t, 3)
+	for w := 0; w < pl.Workers(); w++ {
+		var buf bytes.Buffer
+		n, err := pl.WriteShardBinary(w, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(buf.Len()) != n*16 {
+			t.Fatalf("shard %d: %d bytes for %d arcs", w, buf.Len(), n)
+		}
+		arcs, err := ReadArcsBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(arcs)) != n {
+			t.Fatalf("shard %d: read %d arcs, wrote %d", w, len(arcs), n)
+		}
+		i := 0
+		pl.EachShardArc(w, func(a Arc) bool {
+			if arcs[i] != a {
+				t.Fatalf("shard %d arc %d: %v vs %v", w, i, arcs[i], a)
+			}
+			i++
+			return true
+		})
+	}
+}
+
+func TestReadArcsBinaryTruncated(t *testing.T) {
+	pl, _ := plan(t, 1)
+	var buf bytes.Buffer
+	if _, err := pl.WriteShardBinary(0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5] // cut mid-record
+	if _, err := ReadArcsBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated binary stream accepted")
+	}
+}

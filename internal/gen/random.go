@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"kronvalid/internal/graph"
+	"kronvalid/internal/rng"
+)
+
+// ErdosRenyi returns G(n, p): each unordered pair is an edge independently
+// with probability p.
+func ErdosRenyi(n int, p float64, seed uint64) *graph.Graph {
+	g := rng.New(seed)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.Float64() < p {
+				edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, true)
+}
+
+// BarabasiAlbert returns the preferential-attachment graph of [35]: each
+// new vertex attaches to m distinct existing vertices chosen with
+// probability proportional to degree. The result is connected and
+// loop-free with a power-law degree tail.
+func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
+	if m < 1 || n < m+1 {
+		panic("gen: BarabasiAlbert needs n > m >= 1")
+	}
+	g := rng.New(seed)
+	// targets is the repeated-endpoint list: sampling uniformly from it
+	// is sampling proportional to degree.
+	var targets []int32
+	var edges []graph.Edge
+	// Seed with a star on m+1 vertices so the first arrivals have m
+	// distinct attachment points.
+	for v := 1; v <= m; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
+		targets = append(targets, 0, int32(v))
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int32]bool{}
+		order := make([]int32, 0, m)
+		for len(order) < m {
+			w := targets[g.Intn(len(targets))]
+			if !chosen[w] {
+				chosen[w] = true
+				order = append(order, w)
+			}
+		}
+		for _, w := range order {
+			edges = append(edges, graph.Edge{U: int32(v), V: w})
+			targets = append(targets, int32(v), w)
+		}
+	}
+	return graph.FromEdges(n, edges, true)
+}
+
+// WebGraph is the offline stand-in for the paper's web-NotreDame input: a
+// Holme–Kim style scale-free generator with triad closure. Each new
+// vertex makes m attachments; the first is preferential, and each
+// subsequent one closes a triangle with probability pt (attaching to a
+// random neighbor of the previous target), otherwise attaches
+// preferentially. High pt yields the heavy clustering (millions of
+// triangles at web scale) that the paper's experiment relies on.
+func WebGraph(n, m int, pt float64, seed uint64) *graph.Graph {
+	if m < 1 || n < m+1 {
+		panic("gen: WebGraph needs n > m >= 1")
+	}
+	g := rng.New(seed)
+	var targets []int32
+	adj := make([][]int32, n)
+	var edges []graph.Edge
+	addEdge := func(u, v int32) {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		targets = append(targets, u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := 1; v <= m; v++ {
+		addEdge(0, int32(v))
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int32]bool{}
+		order := make([]int32, 0, m)
+		var prev int32 = -1
+		for len(order) < m {
+			var w int32 = -1
+			if prev >= 0 && g.Float64() < pt && len(adj[prev]) > 0 {
+				// Triad closure: a random neighbor of the previous target.
+				w = adj[prev][g.Intn(len(adj[prev]))]
+			}
+			if w < 0 || w == int32(v) || chosen[w] {
+				w = targets[g.Intn(len(targets))]
+			}
+			if w == int32(v) || chosen[w] {
+				continue
+			}
+			chosen[w] = true
+			order = append(order, w)
+			prev = w
+		}
+		for _, w := range order {
+			addEdge(int32(v), w)
+		}
+	}
+	return graph.FromEdges(n, edges, true)
+}
+
+// RMAT returns a stochastic Kronecker (R-MAT [4]) graph: 2^scale
+// vertices, approximately edges undirected edges sampled with quadrant
+// probabilities (a, b, c, d), a+b+c+d = 1. Duplicates are merged and self
+// loops dropped, so the realized edge count can be slightly lower. This is
+// the Rem. 1 baseline: edge independence makes triangles scarce.
+func RMAT(scale int, edges int64, a, b, c, d float64, seed uint64) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic("gen: RMAT scale out of range [1,30]")
+	}
+	sum := a + b + c + d
+	if sum <= 0 {
+		panic("gen: RMAT probabilities must be positive")
+	}
+	a, b, c = a/sum, b/sum, c/sum
+	g := rng.New(seed)
+	n := 1 << uint(scale)
+	var list []graph.Edge
+	for e := int64(0); e < edges; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := g.Float64()
+			switch {
+			case r < a:
+				// top-left
+			case r < a+b:
+				v |= 1 << uint(bit)
+			case r < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u != v {
+			list = append(list, graph.Edge{U: int32(u), V: int32(v)})
+		}
+	}
+	return graph.FromEdges(n, list, true)
+}
+
+// Graph500RMAT returns an R-MAT graph with the Graph500 benchmark
+// parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) and edge factor 16.
+func Graph500RMAT(scale int, seed uint64) *graph.Graph {
+	return RMAT(scale, 16<<uint(scale), 0.57, 0.19, 0.19, 0.05, seed)
+}

@@ -1,0 +1,156 @@
+package gio
+
+import (
+	"bytes"
+	"kronvalid/internal/graph"
+	"strings"
+	"testing"
+
+	"kronvalid/internal/gen"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.WebGraph(50, 3, 0.5, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("edge list round trip failed")
+	}
+}
+
+func TestUndirectedRoundTrip(t *testing.T) {
+	g := gen.HubCycle(6)
+	var buf bytes.Buffer
+	if err := WriteEdgeListUndirected(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if int64(lines) != g.NumEdgesUndirected() {
+		t.Fatalf("wrote %d lines, want %d", lines, g.NumEdgesUndirected())
+	}
+	back, err := ReadEdgeList(&buf, g.NumVertices(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("undirected round trip failed")
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\n% another\n0\t1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdgesUndirected() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdgesUndirected())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "a b\n", "0 x\n", "0 99\n", "-1 0\n"}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 3, false); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	s := GraphStats{Name: "A⊗B", Vertices: 106099381441, Edges: 2731750692060,
+		Triangles: 141000000000000, MaxDegree: 12345, Loops: 0}
+	var buf bytes.Buffer
+	if err := WriteStats(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip: %+v vs %+v", back, s)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	graphs := map[string]func() *graph.Graph{
+		"web":      func() *graph.Graph { return gen.WebGraph(200, 3, 0.6, 4) },
+		"loops":    func() *graph.Graph { return gen.HubCycle(5).WithAllLoops() },
+		"directed": func() *graph.Graph { return gen.Clique(4).DirectedPart() },
+		"empty":    func() *graph.Graph { return gen.Path(1) },
+		"labeled": func() *graph.Graph {
+			g := gen.Clique(6)
+			labels := make([]int32, 6)
+			for i := range labels {
+				labels[i] = int32(i % 3)
+			}
+			return g.WithLabels(labels, 3)
+		},
+	}
+	for name, build := range graphs {
+		t.Run(name, func(t *testing.T) {
+			g := build()
+			var buf bytes.Buffer
+			if err := WriteGraphBinary(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadGraphBinary(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(g) {
+				t.Fatal("binary round trip failed")
+			}
+		})
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := gen.HubCycle(4)
+	var buf bytes.Buffer
+	if err := WriteGraphBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadGraphBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated.
+	if _, err := ReadGraphBinary(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupt a neighbor id to an out-of-range value.
+	bad2 := append([]byte(nil), data...)
+	// last 4 bytes of the nbrs block (graph is unlabeled): set huge value
+	copy(bad2[len(bad2)-4:], []byte{0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadGraphBinary(bytes.NewReader(bad2)); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+}
+
+func TestBinaryCompression(t *testing.T) {
+	// The abstract's claim in miniature: the binary factor encoding is a
+	// tiny fraction of the product's edge-list size.
+	g := gen.WebGraph(500, 3, 0.6, 8)
+	var buf bytes.Buffer
+	if err := WriteGraphBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	productArcs := g.NumArcs() * g.NumArcs() // C = G ⊗ G
+	// Each product arc needs >= 10 bytes as text; the factor file must be
+	// orders of magnitude smaller.
+	if int64(buf.Len())*1000 > productArcs*10 {
+		t.Errorf("factor encoding %d bytes vs product ~%d bytes: compression claim fails",
+			buf.Len(), productArcs*10)
+	}
+}

@@ -1,0 +1,205 @@
+package graph
+
+// Transpose returns the graph with every arc reversed.
+func (g *Graph) Transpose() *Graph {
+	offsets := make([]int64, g.n+1)
+	for _, v := range g.nbrs {
+		offsets[v+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	nbrs := make([]int32, len(g.nbrs))
+	next := append([]int64(nil), offsets...)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			nbrs[next[v]] = int32(u)
+			next[v]++
+		}
+	}
+	out := &Graph{n: g.n, offsets: offsets, nbrs: nbrs, nLabels: g.nLabels}
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// WithoutLoops returns a copy with all self loops removed
+// (the paper's A - I∘A).
+func (g *Graph) WithoutLoops() *Graph {
+	offsets := make([]int64, g.n+1)
+	nbrs := make([]int32, 0, len(g.nbrs))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if v != int32(u) {
+				nbrs = append(nbrs, v)
+			}
+		}
+		offsets[u+1] = int64(len(nbrs))
+	}
+	out := &Graph{n: g.n, offsets: offsets, nbrs: nbrs, nLabels: g.nLabels}
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// WithAllLoops returns a copy with a self loop added at every vertex
+// (the paper's B = A + I construction from Section VI).
+func (g *Graph) WithAllLoops() *Graph {
+	offsets := make([]int64, g.n+1)
+	nbrs := make([]int32, 0, len(g.nbrs)+g.n)
+	for u := 0; u < g.n; u++ {
+		inserted := false
+		for _, v := range g.Neighbors(int32(u)) {
+			if !inserted && v >= int32(u) {
+				if v != int32(u) {
+					nbrs = append(nbrs, int32(u))
+				}
+				inserted = true
+			}
+			nbrs = append(nbrs, v)
+		}
+		if !inserted {
+			nbrs = append(nbrs, int32(u))
+		}
+		offsets[u+1] = int64(len(nbrs))
+	}
+	out := &Graph{n: g.n, offsets: offsets, nbrs: nbrs, nLabels: g.nLabels}
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// WithLoopAt returns a copy with a self loop added at vertex v (a no-op
+// if one exists). This is the unit step of the paper's Rem. 1 tuning
+// knob: a loop at factor-B vertex k boosts the triangle counts of every
+// product vertex in block k by Cor. 1's diag(B³) increment.
+func (g *Graph) WithLoopAt(v int32) *Graph {
+	if g.LoopAt(v) {
+		return g.Clone()
+	}
+	all := append(g.Arcs(), Edge{U: v, V: v})
+	out := FromEdges(g.n, all, false)
+	out.nLabels = g.nLabels
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// Undirected returns the undirected version A_u = A + A_d^t (Def. 9): the
+// symmetric closure of the graph.
+func (g *Graph) Undirected() *Graph {
+	edges := g.Arcs()
+	out := FromEdges(g.n, edges, true)
+	out.nLabels = g.nLabels
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// ReciprocalPart returns A_r = A^t ∘ A: arcs (u,v) whose reverse also
+// exists (Def. 9). Self loops are their own reverse and are retained.
+func (g *Graph) ReciprocalPart() *Graph {
+	offsets := make([]int64, g.n+1)
+	nbrs := make([]int32, 0, len(g.nbrs))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if g.HasEdge(v, int32(u)) {
+				nbrs = append(nbrs, v)
+			}
+		}
+		offsets[u+1] = int64(len(nbrs))
+	}
+	out := &Graph{n: g.n, offsets: offsets, nbrs: nbrs, nLabels: g.nLabels}
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// DirectedPart returns A_d = A - A_r: arcs with no reverse (Def. 9).
+func (g *Graph) DirectedPart() *Graph {
+	offsets := make([]int64, g.n+1)
+	nbrs := make([]int32, 0, len(g.nbrs))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if !g.HasEdge(v, int32(u)) {
+				nbrs = append(nbrs, v)
+			}
+		}
+		offsets[u+1] = int64(len(nbrs))
+	}
+	out := &Graph{n: g.n, offsets: offsets, nbrs: nbrs, nLabels: g.nLabels}
+	if g.labels != nil {
+		out.labels = append([]int32(nil), g.labels...)
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// renumbered 0..len(vs)-1 in the given order, plus the mapping back to
+// original ids. Duplicate vertices in vs are rejected.
+func (g *Graph) InducedSubgraph(vs []int32) (*Graph, []int32) {
+	idx := make(map[int32]int32, len(vs))
+	for i, v := range vs {
+		if _, dup := idx[v]; dup {
+			panic("graph: InducedSubgraph with duplicate vertex")
+		}
+		idx[v] = int32(i)
+	}
+	var edges []Edge
+	for _, u := range vs {
+		for _, v := range g.Neighbors(u) {
+			if j, ok := idx[v]; ok {
+				edges = append(edges, Edge{idx[u], j})
+			}
+		}
+	}
+	sub := FromEdges(len(vs), edges, false)
+	if g.labels != nil {
+		sub.nLabels = g.nLabels
+		sub.labels = make([]int32, len(vs))
+		for i, v := range vs {
+			sub.labels[i] = g.labels[v]
+		}
+	}
+	return sub, append([]int32(nil), vs...)
+}
+
+// ConnectedComponents returns a component id per vertex (treating arcs as
+// undirected) and the number of components.
+func (g *Graph) ConnectedComponents() ([]int32, int) {
+	comp := make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	u := g
+	if !g.IsSymmetric() {
+		u = g.Undirected()
+	}
+	var stack []int32
+	next := int32(0)
+	for s := 0; s < u.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack = append(stack[:0], int32(s))
+		comp[s] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range u.Neighbors(v) {
+				if comp[w] == -1 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}

@@ -1,0 +1,143 @@
+package kron
+
+import (
+	"testing"
+
+	"kronvalid/internal/gen"
+)
+
+// TestEx1aCliquesNoLoops validates Ex. 1(a): C = K_nA ⊗ K_nB.
+// Degree: nA·nB + 1 - nA - nB at every vertex.
+// Vertex triangles: ½(nA·nB+1-nA-nB)(nA·nB+4-2nA-2nB).
+// Edge triangles: nA·nB + 4 - 2nA - 2nB.
+func TestEx1aCliquesNoLoops(t *testing.T) {
+	for _, dims := range [][2]int64{{3, 3}, {3, 5}, {4, 6}, {5, 5}} {
+		nA, nB := dims[0], dims[1]
+		p := MustProduct(gen.Clique(int(nA)), gen.Clique(int(nB)))
+		wantDeg := nA*nB + 1 - nA - nB
+		wantVertex := wantDeg * (nA*nB + 4 - 2*nA - 2*nB) / 2
+		wantEdge := nA*nB + 4 - 2*nA - 2*nB
+
+		tc, err := VertexParticipation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := EdgeParticipation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(0); v < p.NumVertices(); v++ {
+			if got := p.Degree(v); got != wantDeg {
+				t.Fatalf("K%d⊗K%d degree(%d) = %d, want %d", nA, nB, v, got, wantDeg)
+			}
+			if got := tc.At(v); got != wantVertex {
+				t.Fatalf("K%d⊗K%d t(%d) = %d, want %d", nA, nB, v, got, wantVertex)
+			}
+		}
+		checked := 0
+		p.EachArc(func(u, v int64) bool {
+			if got := dc.At(u, v); got != wantEdge {
+				t.Fatalf("K%d⊗K%d Δ(%d,%d) = %d, want %d", nA, nB, u, v, got, wantEdge)
+			}
+			checked++
+			return checked < 200
+		})
+	}
+}
+
+// TestEx1bSelfLoopsInSecondFactor validates Ex. 1(b): C = K_nA ⊗ J_nB.
+// Degree: nA·nB - nA... the paper's printed degree is (nA·nB - nA); its
+// triangle counts read ½(nA·nB - nB)(nA·nB - 2nB) per vertex and
+// (nA·nB - 2nB) per edge — we assert the formulas against the theorems'
+// machinery, which is itself validated against direct counting in
+// kron_test.go, and check the printed expressions where they are
+// consistent.
+func TestEx1bSelfLoopsInSecondFactor(t *testing.T) {
+	for _, dims := range [][2]int64{{3, 3}, {4, 4}, {3, 6}, {5, 4}} {
+		nA, nB := dims[0], dims[1]
+		p := MustProduct(gen.Clique(int(nA)), gen.CliqueWithLoops(int(nB)))
+		// Degree of each vertex: row sums are (nA-1)·nB; no loops in C
+		// because A has none. The paper prints nA·nB - nA; substituting
+		// shows the intended quantity is (nA-1)·nB = nA·nB - nB. We
+		// assert against the definition (and the explicit product).
+		wantDeg := (nA - 1) * nB
+		wantVertex := (nA*nB - nB) * (nA*nB - 2*nB) / 2
+		wantEdge := nA*nB - 2*nB
+
+		tc, err := VertexParticipation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := EdgeParticipation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(0); v < p.NumVertices(); v++ {
+			if got := p.Degree(v); got != wantDeg {
+				t.Fatalf("K%d⊗J%d degree(%d) = %d, want %d", nA, nB, v, got, wantDeg)
+			}
+			if got := tc.At(v); got != wantVertex {
+				t.Fatalf("K%d⊗J%d t(%d) = %d, want %d", nA, nB, v, got, wantVertex)
+			}
+		}
+		checked := 0
+		p.EachArc(func(u, v int64) bool {
+			if got := dc.At(u, v); got != wantEdge {
+				t.Fatalf("K%d⊗J%d Δ(%d,%d) = %d, want %d", nA, nB, u, v, got, wantEdge)
+			}
+			checked++
+			return checked < 200
+		})
+	}
+}
+
+// TestEx1cSelfLoopsInBothFactors validates Ex. 1(c):
+// (J_nA ⊗ J_nB) - I = K_{nA·nB}: degree nA·nB - 1, vertex triangles
+// C(nA·nB - 1, 2), edge triangles nA·nB - 2. Our formulas compute the
+// statistics of C = J_nA ⊗ J_nB itself (with all loops); its loop-free
+// triangle statistics are exactly those of the full clique.
+func TestEx1cSelfLoopsInBothFactors(t *testing.T) {
+	for _, dims := range [][2]int64{{2, 3}, {3, 3}, {4, 3}, {2, 6}} {
+		nA, nB := dims[0], dims[1]
+		n := nA * nB
+		p := MustProduct(gen.CliqueWithLoops(int(nA)), gen.CliqueWithLoops(int(nB)))
+		wantDeg := n - 1
+		wantVertex := (n - 1) * (n - 2) / 2
+		wantEdge := n - 2
+
+		tc, err := VertexParticipation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := EdgeParticipation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(0); v < p.NumVertices(); v++ {
+			if got := p.Degree(v); got != wantDeg {
+				t.Fatalf("J%d⊗J%d degree(%d) = %d, want %d", nA, nB, v, got, wantDeg)
+			}
+			if got := tc.At(v); got != wantVertex {
+				t.Fatalf("J%d⊗J%d t(%d) = %d, want %d", nA, nB, v, got, wantVertex)
+			}
+		}
+		for u := int64(0); u < n; u++ {
+			for v := int64(0); v < n; v++ {
+				if u == v {
+					continue
+				}
+				if got := dc.At(u, v); got != wantEdge {
+					t.Fatalf("J%d⊗J%d Δ(%d,%d) = %d, want %d", nA, nB, u, v, got, wantEdge)
+				}
+			}
+		}
+		// Total triangles of the full clique: C(n, 3).
+		total, err := TriangleTotal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n * (n - 1) * (n - 2) / 6; total != want {
+			t.Fatalf("J%d⊗J%d τ = %d, want %d", nA, nB, total, want)
+		}
+	}
+}

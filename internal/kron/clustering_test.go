@@ -1,0 +1,94 @@
+package kron
+
+import (
+	"math"
+	"testing"
+
+	"kronvalid/internal/gen"
+	"kronvalid/internal/rng"
+	"kronvalid/internal/triangle"
+)
+
+func TestWedgeCountAgainstMaterialized(t *testing.T) {
+	g := rng.New(61)
+	cases := []struct{ loopsA, loopsB float64 }{
+		{0, 0}, {0, 0.5}, {0.5, 0}, {0.5, 0.5},
+	}
+	for _, tc := range cases {
+		for trial := 0; trial < 5; trial++ {
+			a := randomUndirected(g, 5+g.Intn(8), 3.5, tc.loopsA)
+			b := randomUndirected(g, 5+g.Intn(8), 3.5, tc.loopsB)
+			p := MustProduct(a, b)
+			got, err := WedgeCount(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := materialize(t, p)
+			cl := c.WithoutLoops()
+			var want int64
+			for v := 0; v < cl.NumVertices(); v++ {
+				d := cl.OutDegreeRaw(int32(v))
+				want += d * (d - 1) / 2
+			}
+			if got != want {
+				t.Fatalf("loops (%.1f,%.1f): wedges = %d, want %d", tc.loopsA, tc.loopsB, got, want)
+			}
+		}
+	}
+}
+
+func TestGlobalClusteringAgainstMaterialized(t *testing.T) {
+	g := rng.New(62)
+	for trial := 0; trial < 6; trial++ {
+		a := randomUndirected(g, 6+g.Intn(6), 4, g.Float64()*0.5)
+		b := randomUndirected(g, 6+g.Intn(6), 4, g.Float64()*0.5)
+		p := MustProduct(a, b)
+		got, err := GlobalClustering(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := materialize(t, p)
+		want := triangle.GlobalClusteringCoefficient(c)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: transitivity %v, direct %v", trial, got, want)
+		}
+	}
+}
+
+func TestGlobalClusteringClique(t *testing.T) {
+	// K_n ⊗ K_m with loops everywhere is a full clique: transitivity 1.
+	p := MustProduct(gen.CliqueWithLoops(3), gen.CliqueWithLoops(4))
+	got, err := GlobalClustering(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clique transitivity = %v, want 1", got)
+	}
+}
+
+func TestWedgeCountRejectsDirected(t *testing.T) {
+	dir := randomDirected(rng.New(1), 4, 2, 0.2)
+	p := MustProduct(dir, gen.Clique(3))
+	if _, err := WedgeCount(p); err == nil {
+		t.Fatal("expected error for directed factors")
+	}
+}
+
+func TestLocalClusteringAgainstDirect(t *testing.T) {
+	g := rng.New(63)
+	a := randomUndirected(g, 8, 4, 0.3)
+	b := randomUndirected(g, 7, 4, 0.3)
+	p := MustProduct(a, b)
+	cc, err := LocalClustering(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := materialize(t, p)
+	want := triangle.LocalClusteringCoefficients(c)
+	for v := int64(0); v < p.NumVertices(); v++ {
+		if math.Abs(cc(v)-want[v]) > 1e-12 {
+			t.Fatalf("cc(%d) = %v, direct %v", v, cc(v), want[v])
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package kron
+
+import (
+	"errors"
+	"fmt"
+
+	"kronvalid/internal/graph"
+	"kronvalid/internal/sparse"
+)
+
+// MultiProduct is the k-fold implicit Kronecker product
+// C = B_1 ⊗ B_2 ⊗ … ⊗ B_k, the construction used by the extreme-scale
+// generator the paper builds on ([3]: repeated Kronecker powers of small
+// power-law factors). All of §III's formulas generalize: the four-term
+// vertex expansion and five-term edge expansion factor across any number
+// of factors because every ingredient (diag(·³) terms, Hadamard-square
+// terms, D parts) is itself a Kronecker product of per-factor matrices.
+//
+// Vertex indexing is mixed-radix: p = ((i_1·n_2 + i_2)·n_3 + i_3)… with
+// factor 1 as the most significant digit, consistent with the binary
+// Product when k = 2.
+type MultiProduct struct {
+	Factors []*graph.Graph
+	radix   []int64 // radix[i] = Π_{j>i} n_j
+}
+
+// NewMultiProduct validates the factors (at least one; sizes multiply
+// within int64).
+func NewMultiProduct(factors ...*graph.Graph) (*MultiProduct, error) {
+	if len(factors) == 0 {
+		return nil, errors.New("kron: MultiProduct needs at least one factor")
+	}
+	nv, na := int64(1), int64(1)
+	for _, f := range factors {
+		if f.NumVertices() == 0 {
+			return nil, errors.New("kron: empty factor")
+		}
+		var err error
+		nv, err = sparse.CheckedMul(nv, int64(f.NumVertices()))
+		if err != nil {
+			return nil, fmt.Errorf("kron: vertex count overflow: %w", err)
+		}
+		na, err = sparse.CheckedMul(na, f.NumArcs())
+		if err != nil {
+			return nil, fmt.Errorf("kron: arc count overflow: %w", err)
+		}
+	}
+	radix := make([]int64, len(factors))
+	acc := int64(1)
+	for i := len(factors) - 1; i >= 0; i-- {
+		radix[i] = acc
+		acc *= int64(factors[i].NumVertices())
+	}
+	return &MultiProduct{Factors: factors, radix: radix}, nil
+}
+
+// MustMultiProduct panics on invalid factors.
+func MustMultiProduct(factors ...*graph.Graph) *MultiProduct {
+	p, err := NewMultiProduct(factors...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// KroneckerPower returns the k-th Kronecker power B ⊗ B ⊗ … ⊗ B.
+func KroneckerPower(b *graph.Graph, k int) (*MultiProduct, error) {
+	if k < 1 {
+		return nil, errors.New("kron: power must be >= 1")
+	}
+	factors := make([]*graph.Graph, k)
+	for i := range factors {
+		factors[i] = b
+	}
+	return NewMultiProduct(factors...)
+}
+
+// K returns the number of factors.
+func (p *MultiProduct) K() int { return len(p.Factors) }
+
+// NumVertices returns Π n_i.
+func (p *MultiProduct) NumVertices() int64 {
+	return p.radix[0] * int64(p.Factors[0].NumVertices())
+}
+
+// NumArcs returns Π |arcs(B_i)|.
+func (p *MultiProduct) NumArcs() int64 {
+	na := int64(1)
+	for _, f := range p.Factors {
+		na *= f.NumArcs()
+	}
+	return na
+}
+
+// Vertex composes per-factor vertices into a product vertex.
+func (p *MultiProduct) Vertex(idx []int32) int64 {
+	if len(idx) != len(p.Factors) {
+		panic("kron: Vertex index arity mismatch")
+	}
+	var v int64
+	for i, x := range idx {
+		v += int64(x) * p.radix[i]
+	}
+	return v
+}
+
+// FactorsOf splits a product vertex into per-factor vertices.
+func (p *MultiProduct) FactorsOf(v int64) []int32 {
+	out := make([]int32, len(p.Factors))
+	for i := range p.Factors {
+		out[i] = int32(v / p.radix[i] % int64(p.Factors[i].NumVertices()))
+	}
+	return out
+}
+
+// IsSymmetric reports whether all factors (hence C) are symmetric.
+func (p *MultiProduct) IsSymmetric() bool {
+	for _, f := range p.Factors {
+		if !f.IsSymmetric() {
+			return false
+		}
+	}
+	return true
+}
+
+// HasEdge reports whether arc (u, v) exists: the conjunction of factor
+// adjacencies.
+func (p *MultiProduct) HasEdge(u, v int64) bool {
+	fu := p.FactorsOf(u)
+	fv := p.FactorsOf(v)
+	for i, f := range p.Factors {
+		if !f.HasEdge(fu[i], fv[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasLoop reports whether v has a self loop (loops at every factor
+// vertex).
+func (p *MultiProduct) HasLoop(v int64) bool {
+	for i, x := range p.FactorsOf(v) {
+		if !p.Factors[i].LoopAt(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Degree returns the loop-excluded degree of product vertex v:
+// Π (d_i + s_i) − Π s_i.
+func (p *MultiProduct) Degree(v int64) int64 {
+	idx := p.FactorsOf(v)
+	raw := int64(1)
+	loop := true
+	for i, f := range p.Factors {
+		raw *= f.OutDegreeRaw(idx[i])
+		loop = loop && f.LoopAt(idx[i])
+	}
+	if loop {
+		raw--
+	}
+	return raw
+}
+
+// EachArc streams every arc of C in lexicographic order by recursive
+// factor expansion, stopping early if fn returns false.
+func (p *MultiProduct) EachArc(fn func(u, v int64) bool) {
+	k := len(p.Factors)
+	idxU := make([]int32, k)
+	idxV := make([]int32, k)
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == k {
+			return fn(p.Vertex(idxU), p.Vertex(idxV))
+		}
+		f := p.Factors[depth]
+		for u := int32(0); u < int32(f.NumVertices()); u++ {
+			nb := f.Neighbors(u)
+			if len(nb) == 0 {
+				continue
+			}
+			idxU[depth] = u
+			for _, v := range nb {
+				idxV[depth] = v
+				if !rec(depth + 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Materialize builds the explicit product (validation scale only).
+func (p *MultiProduct) Materialize(maxVertices, maxArcs int64) (*graph.Graph, error) {
+	if p.NumVertices() > maxVertices || p.NumArcs() > maxArcs || p.NumVertices() > (1<<31-1) {
+		return nil, fmt.Errorf("%w: %d vertices, %d arcs", ErrTooLarge, p.NumVertices(), p.NumArcs())
+	}
+	edges := make([]graph.Edge, 0, p.NumArcs())
+	p.EachArc(func(u, v int64) bool {
+		edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+		return true
+	})
+	return graph.FromEdges(int(p.NumVertices()), edges, false), nil
+}
+
+// multiVecSum represents Σ_m coef_m ⊗_i u_{m,i} with a common divisor,
+// the k-factor generalization of KronVecSum.
+type multiVecTerm struct {
+	coef int64
+	us   [][]int64
+}
+
+// MultiVecSum is a lazily evaluated per-vertex statistic of a k-fold
+// product.
+type MultiVecSum struct {
+	terms []multiVecTerm
+	den   int64
+	p     *MultiProduct
+}
+
+// At evaluates the statistic at product vertex v.
+func (s *MultiVecSum) At(v int64) int64 {
+	idx := s.p.FactorsOf(v)
+	var acc int64
+	for _, t := range s.terms {
+		prod := t.coef
+		for i, u := range t.us {
+			prod *= u[idx[i]]
+			if prod == 0 {
+				break
+			}
+		}
+		acc += prod
+	}
+	if acc%s.den != 0 {
+		panic(fmt.Sprintf("kron: non-integral multi statistic %d/%d", acc, s.den))
+	}
+	return acc / s.den
+}
+
+// Total returns the checked sum over all product vertices.
+func (s *MultiVecSum) Total() (int64, error) {
+	var acc int64
+	for _, t := range s.terms {
+		prod := int64(1)
+		var err error
+		for _, u := range t.us {
+			prod, err = sparse.CheckedMul(prod, nonNegOrZero(sparse.SumVec(u)))
+			if err != nil {
+				return 0, err
+			}
+		}
+		term, err := sparse.CheckedMul(abs64(t.coef), prod)
+		if err != nil {
+			return 0, err
+		}
+		if t.coef < 0 {
+			term = -term
+		}
+		prev := acc
+		acc += term
+		if (term > 0 && acc < prev) || (term < 0 && acc > prev) {
+			return 0, sparse.ErrOverflow
+		}
+	}
+	if acc%s.den != 0 {
+		return 0, fmt.Errorf("kron: non-integral multi total %d/%d", acc, s.den)
+	}
+	return acc / s.den, nil
+}
+
+func nonNegOrZero(x int64) int64 {
+	if x < 0 {
+		panic("kron: negative factor sum in multi statistic")
+	}
+	return x
+}
+
+// Vector materializes the statistic (validation scale).
+func (s *MultiVecSum) Vector() []int64 {
+	out := make([]int64, s.p.NumVertices())
+	for v := range out {
+		out[v] = s.At(int64(v))
+	}
+	return out
+}
+
+// MultiVertexParticipation returns t_C for the k-fold product in all
+// self-loop regimes: the same four-term expansion as the binary case,
+// with every term a k-fold Kronecker product of per-factor diagonals:
+//
+//	t_C = ½[ ⊗diag(B_i³) − 2·⊗diag(B_i²D_i) − ⊗diag(B_i D_i B_i)
+//	         + 2·⊗diag(D_i) ].
+//
+// All factors must be undirected.
+func MultiVertexParticipation(p *MultiProduct) (*MultiVecSum, error) {
+	if !p.IsSymmetric() {
+		return nil, errors.New("kron: formula requires undirected factors")
+	}
+	k := len(p.Factors)
+	cube := make([][]int64, k)
+	sqD := make([][]int64, k)
+	bdb := make([][]int64, k)
+	dd := make([][]int64, k)
+	anyNoLoops := false
+	for i, f := range p.Factors {
+		b := f.ToSparse()
+		d := b.DiagPart()
+		b2 := b.Mul(b)
+		cube[i] = sparse.DiagOfProduct(b2, b)
+		sqD[i] = sparse.DiagOfProduct(b2, d)
+		bdb[i] = sparse.Diag3(b, d, b)
+		dd[i] = d.Diag()
+		if d.NNZ() == 0 {
+			anyNoLoops = true
+		}
+	}
+	s := &MultiVecSum{den: 2, p: p}
+	s.terms = append(s.terms, multiVecTerm{coef: 1, us: cube})
+	if !anyNoLoops {
+		// D_C = ⊗D_i is nonzero only when every factor has loops.
+		s.terms = append(s.terms,
+			multiVecTerm{coef: -2, us: sqD},
+			multiVecTerm{coef: -1, us: bdb},
+			multiVecTerm{coef: 2, us: dd},
+		)
+	}
+	return s, nil
+}
+
+// MultiTriangleTotal returns exact τ(C) for the k-fold product; for
+// loop-free factors this is 6^{k-1}·Π τ(B_i).
+func MultiTriangleTotal(p *MultiProduct) (int64, error) {
+	t, err := MultiVertexParticipation(p)
+	if err != nil {
+		return 0, err
+	}
+	total, err := t.Total()
+	if err != nil {
+		return 0, err
+	}
+	if total%3 != 0 {
+		return 0, errors.New("kron: multi participation total not divisible by 3")
+	}
+	return total / 3, nil
+}
+
+// MultiEdgeDelta evaluates Δ_C at one arc of the k-fold product via the
+// five-term expansion (every term a k-fold ⊗ of factor matrices):
+//
+//	Δ_C = ⊗(B∘B²) − ⊗(D B) − ⊗(B D) + 2·⊗D − ⊗(D∘B²).
+//
+// Returned as a closure over precomputed factor matrices.
+func MultiEdgeDelta(p *MultiProduct) (func(u, v int64) int64, error) {
+	if !p.IsSymmetric() {
+		return nil, errors.New("kron: formula requires undirected factors")
+	}
+	k := len(p.Factors)
+	had := make([]*sparse.Matrix, k)
+	db := make([]*sparse.Matrix, k)
+	bd := make([]*sparse.Matrix, k)
+	dOnly := make([]*sparse.Matrix, k)
+	dHad := make([]*sparse.Matrix, k)
+	anyNoLoops := false
+	for i, f := range p.Factors {
+		b := f.ToSparse()
+		d := b.DiagPart()
+		b2 := b.Mul(b)
+		had[i] = b.Hadamard(b2)
+		db[i] = d.Mul(b)
+		bd[i] = b.Mul(d)
+		dOnly[i] = d
+		dHad[i] = d.Hadamard(b2)
+		if d.NNZ() == 0 {
+			anyNoLoops = true
+		}
+	}
+	evalTerm := func(ms []*sparse.Matrix, u, v int64) int64 {
+		fu := p.FactorsOf(u)
+		fv := p.FactorsOf(v)
+		prod := int64(1)
+		for i, m := range ms {
+			prod *= m.At(int(fu[i]), int(fv[i]))
+			if prod == 0 {
+				return 0
+			}
+		}
+		return prod
+	}
+	return func(u, v int64) int64 {
+		acc := evalTerm(had, u, v)
+		if !anyNoLoops {
+			acc -= evalTerm(db, u, v)
+			acc -= evalTerm(bd, u, v)
+			acc += 2 * evalTerm(dOnly, u, v)
+			acc -= evalTerm(dHad, u, v)
+		}
+		return acc
+	}, nil
+}

@@ -1,0 +1,240 @@
+package kron
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kronvalid/internal/gen"
+	"kronvalid/internal/rng"
+	"kronvalid/internal/sparse"
+	"kronvalid/internal/triangle"
+)
+
+func TestMultiProductMatchesBinaryProduct(t *testing.T) {
+	g := rng.New(71)
+	for trial := 0; trial < 8; trial++ {
+		a := randomUndirected(g, 4+g.Intn(5), 3, g.Float64()*0.5)
+		b := randomUndirected(g, 4+g.Intn(5), 3, g.Float64()*0.5)
+		bin := MustProduct(a, b)
+		multi := MustMultiProduct(a, b)
+		if multi.NumVertices() != bin.NumVertices() || multi.NumArcs() != bin.NumArcs() {
+			t.Fatal("size mismatch with binary product")
+		}
+		for v := int64(0); v < multi.NumVertices(); v++ {
+			i, k := bin.Factors(v)
+			idx := multi.FactorsOf(v)
+			if idx[0] != i || idx[1] != k {
+				t.Fatalf("index maps disagree at %d: (%d,%d) vs %v", v, i, k, idx)
+			}
+			if multi.Degree(v) != bin.Degree(v) {
+				t.Fatalf("degree(%d): %d vs %d", v, multi.Degree(v), bin.Degree(v))
+			}
+		}
+		n := multi.NumVertices()
+		for s := 0; s < 100; s++ {
+			u, v := g.Int64n(n), g.Int64n(n)
+			if multi.HasEdge(u, v) != bin.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) disagrees", u, v)
+			}
+		}
+	}
+}
+
+func TestMultiProductIndexRoundTrip(t *testing.T) {
+	a := gen.Clique(3)
+	b := gen.Cycle(4)
+	c := gen.Path(5)
+	p := MustMultiProduct(a, b, c)
+	if p.NumVertices() != 60 {
+		t.Fatalf("NumVertices = %d", p.NumVertices())
+	}
+	for v := int64(0); v < 60; v++ {
+		if got := p.Vertex(p.FactorsOf(v)); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestMultiEachArcMatchesMaterialized(t *testing.T) {
+	a := gen.Clique(3)
+	b := gen.HubCycle(3)
+	c := gen.Cycle(3)
+	p := MustMultiProduct(a, b, c)
+	seen := map[[2]int64]bool{}
+	var count int64
+	p.EachArc(func(u, v int64) bool {
+		key := [2]int64{u, v}
+		if seen[key] {
+			t.Fatalf("duplicate arc (%d,%d)", u, v)
+		}
+		seen[key] = true
+		count++
+		return true
+	})
+	if count != p.NumArcs() {
+		t.Fatalf("streamed %d arcs, want %d", count, p.NumArcs())
+	}
+	cg, err := p.Materialize(100000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.EachArc(func(u, v int32) bool {
+		if !seen[[2]int64{int64(u), int64(v)}] {
+			t.Fatalf("materialized arc (%d,%d) not streamed", u, v)
+		}
+		return true
+	})
+	// Cross-check with explicit triple Kronecker.
+	want := sparse.Kron(sparse.Kron(a.ToSparse(), b.ToSparse()), c.ToSparse())
+	if !cg.ToSparse().Equal(want) {
+		t.Fatal("materialized triple product != (A⊗B)⊗C")
+	}
+}
+
+func TestMultiVertexParticipationThreeFactors(t *testing.T) {
+	g := rng.New(72)
+	cases := []float64{0, 0.5}
+	for _, loopP := range cases {
+		for trial := 0; trial < 4; trial++ {
+			a := randomUndirected(g, 3+g.Intn(4), 2.5, loopP)
+			b := randomUndirected(g, 3+g.Intn(4), 2.5, loopP)
+			c := randomUndirected(g, 3+g.Intn(4), 2.5, loopP)
+			p := MustMultiProduct(a, b, c)
+			tv, err := MultiVertexParticipation(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, err := p.Materialize(100000, 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := triangle.Count(cg).PerVertex
+			if !sparse.EqualVec(tv.Vector(), want) {
+				t.Fatalf("loopP=%.1f trial %d: multi t_C disagrees with direct count", loopP, trial)
+			}
+		}
+	}
+}
+
+func TestMultiTriangleTotalPowerLaw(t *testing.T) {
+	// Loop-free: τ(B^{⊗k}) = 6^{k-1}·τ(B)^k.
+	b := gen.WebGraph(40, 3, 0.8, 5)
+	tb := triangle.Count(b).Total
+	if tb == 0 {
+		t.Skip("factor has no triangles at this seed")
+	}
+	for k := 1; k <= 3; k++ {
+		p, err := KroneckerPower(b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MultiTriangleTotal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)
+		for i := 0; i < k; i++ {
+			want *= tb
+		}
+		for i := 0; i < k-1; i++ {
+			want *= 6
+		}
+		if got != want {
+			t.Fatalf("k=%d: τ = %d, want 6^{k-1}·τ(B)^k = %d", k, got, want)
+		}
+	}
+}
+
+func TestMultiEdgeDeltaAgainstDirect(t *testing.T) {
+	g := rng.New(73)
+	for trial := 0; trial < 5; trial++ {
+		a := randomUndirected(g, 3+g.Intn(4), 2.5, g.Float64()*0.6)
+		b := randomUndirected(g, 3+g.Intn(4), 2.5, g.Float64()*0.6)
+		c := randomUndirected(g, 3+g.Intn(3), 2.5, g.Float64()*0.6)
+		p := MustMultiProduct(a, b, c)
+		deltaAt, err := MultiEdgeDelta(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, err := p.Materialize(100000, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := triangle.Count(cg).EdgeDelta
+		ok := true
+		want.Each(func(r, cc int, v int64) bool {
+			if deltaAt(int64(r), int64(cc)) != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("trial %d: multi Δ_C disagrees with direct count", trial)
+		}
+		// And zero off-support (spot check).
+		n := p.NumVertices()
+		for s := 0; s < 50; s++ {
+			u, v := g.Int64n(n), g.Int64n(n)
+			if !p.HasEdge(u, v) && u != v {
+				if deltaAt(u, v) != want.At(int(u), int(v)) {
+					t.Fatalf("off-edge Δ(%d,%d) wrong", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiProductSingleFactorIdentity(t *testing.T) {
+	// k=1: the product is the factor itself.
+	b := gen.HubCycle(4)
+	p := MustMultiProduct(b)
+	tv, err := MultiVertexParticipation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := triangle.Count(b).PerVertex
+	if !sparse.EqualVec(tv.Vector(), want) {
+		t.Fatal("k=1 participation wrong")
+	}
+	if p.NumArcs() != b.NumArcs() || p.NumVertices() != int64(b.NumVertices()) {
+		t.Fatal("k=1 sizes wrong")
+	}
+}
+
+func TestMultiProductValidation(t *testing.T) {
+	if _, err := NewMultiProduct(); err == nil {
+		t.Error("accepted zero factors")
+	}
+	if _, err := KroneckerPower(gen.Clique(3), 0); err == nil {
+		t.Error("accepted power 0")
+	}
+}
+
+func TestMultiProductOverflowGuard(t *testing.T) {
+	// 6 factors of 2^11 vertices = 2^66 product vertices: must overflow.
+	b := gen.Clique(1 << 11)
+	if _, err := NewMultiProduct(b, b, b, b, b, b); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestQuickMultiMatchesBinaryParticipation(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		a := randomUndirected(g, 3+g.Intn(5), 3, g.Float64()*0.5)
+		b := randomUndirected(g, 3+g.Intn(5), 3, g.Float64()*0.5)
+		bin, err := VertexParticipation(MustProduct(a, b))
+		if err != nil {
+			return false
+		}
+		multi, err := MultiVertexParticipation(MustMultiProduct(a, b))
+		if err != nil {
+			return false
+		}
+		return sparse.EqualVec(bin.Vector(), multi.Vector())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

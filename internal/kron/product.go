@@ -1,0 +1,282 @@
+// Package kron is the core of the library: the implicit Kronecker product
+// graph C = A ⊗ B and the paper's formulas that read exact statistics of C
+// off cheap computations on the factors A and B.
+//
+// C is never materialized (except for validation-scale factors): its
+// |E_A|·|E_B| edges are streamed, queried, or sampled from the two small
+// factors. Product vertices are int64: p = i·n_B + k composes factor
+// vertices i ∈ A and k ∈ B (0-based throughout; the paper is 1-based).
+package kron
+
+import (
+	"errors"
+	"fmt"
+
+	"kronvalid/internal/graph"
+	"kronvalid/internal/sparse"
+)
+
+// ErrTooLarge is returned when a materialization request exceeds the
+// caller's limit.
+var ErrTooLarge = errors.New("kron: product too large to materialize")
+
+// Product is the implicit Kronecker product graph C = A ⊗ B.
+type Product struct {
+	A, B *graph.Graph
+	nB   int64
+}
+
+// NewProduct validates the factors (sizes must multiply within int64) and
+// returns the implicit product.
+func NewProduct(a, b *graph.Graph) (*Product, error) {
+	if a.NumVertices() == 0 || b.NumVertices() == 0 {
+		return nil, errors.New("kron: empty factor")
+	}
+	if _, err := sparse.CheckedMul(int64(a.NumVertices()), int64(b.NumVertices())); err != nil {
+		return nil, fmt.Errorf("kron: vertex count overflow: %w", err)
+	}
+	if _, err := sparse.CheckedMul(a.NumArcs(), b.NumArcs()); err != nil {
+		return nil, fmt.Errorf("kron: arc count overflow: %w", err)
+	}
+	return &Product{A: a, B: b, nB: int64(b.NumVertices())}, nil
+}
+
+// MustProduct is NewProduct that panics on error, for tests and examples
+// with known-good factors.
+func MustProduct(a, b *graph.Graph) *Product {
+	p, err := NewProduct(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Vertex composes factor vertices (i ∈ A, k ∈ B) into the product vertex
+// p = i·n_B + k.
+func (p *Product) Vertex(i, k int32) int64 {
+	return int64(i)*p.nB + int64(k)
+}
+
+// Factors splits product vertex v into its factor vertices (i, k).
+func (p *Product) Factors(v int64) (i, k int32) {
+	return int32(v / p.nB), int32(v % p.nB)
+}
+
+// NumVertices returns n_C = n_A · n_B.
+func (p *Product) NumVertices() int64 {
+	return int64(p.A.NumVertices()) * p.nB
+}
+
+// NumArcs returns the number of directed arcs of C: |arcs(A)|·|arcs(B)|.
+func (p *Product) NumArcs() int64 {
+	return p.A.NumArcs() * p.B.NumArcs()
+}
+
+// NumLoops returns the number of self loops of C: loops(A)·loops(B).
+func (p *Product) NumLoops() int64 {
+	return p.A.NumLoops() * p.B.NumLoops()
+}
+
+// NumEdgesUndirected returns the number of undirected edges of C
+// (pairs counted once, self loops once). Panics unless both factors are
+// symmetric (which makes C symmetric).
+func (p *Product) NumEdgesUndirected() int64 {
+	if !p.IsSymmetric() {
+		panic("kron: NumEdgesUndirected on a non-symmetric product")
+	}
+	loops := p.NumLoops()
+	return (p.NumArcs()-loops)/2 + loops
+}
+
+// IsSymmetric reports whether C is symmetric. A ⊗ B is symmetric when
+// both factors are (the standard sufficient condition, and the only case
+// the paper's undirected results address).
+func (p *Product) IsSymmetric() bool {
+	return p.A.IsSymmetric() && p.B.IsSymmetric()
+}
+
+// HasEdge reports whether arc (u, v) exists in C:
+// C[p(i,k)][q(j,l)] = A[i][j]·B[k][l].
+func (p *Product) HasEdge(u, v int64) bool {
+	i, k := p.Factors(u)
+	j, l := p.Factors(v)
+	return p.A.HasEdge(i, j) && p.B.HasEdge(k, l)
+}
+
+// HasLoop reports whether product vertex v has a self loop.
+func (p *Product) HasLoop(v int64) bool {
+	i, k := p.Factors(v)
+	return p.A.LoopAt(i) && p.B.LoopAt(k)
+}
+
+// OutDegreeRaw returns the raw out-degree of product vertex v including a
+// self loop: rowsum_A(i)·rowsum_B(k).
+func (p *Product) OutDegreeRaw(v int64) int64 {
+	i, k := p.Factors(v)
+	return p.A.OutDegreeRaw(i) * p.B.OutDegreeRaw(k)
+}
+
+// Degree returns the paper's degree of product vertex v (excluding its
+// self loop): d_C(p) = (d_A(i)+s_A(i))·(d_B(k)+s_B(k)) - s_A(i)·s_B(k),
+// where s is the self-loop indicator. This single expression covers all
+// three self-loop regimes of §III.A.
+func (p *Product) Degree(v int64) int64 {
+	d := p.OutDegreeRaw(v)
+	if p.HasLoop(v) {
+		d--
+	}
+	return d
+}
+
+// EachNeighbor calls fn for every out-neighbor of product vertex v, in
+// increasing product-vertex order, stopping early if fn returns false.
+func (p *Product) EachNeighbor(v int64, fn func(u int64) bool) {
+	i, k := p.Factors(v)
+	for _, j := range p.A.Neighbors(i) {
+		base := int64(j) * p.nB
+		for _, l := range p.B.Neighbors(k) {
+			if !fn(base + int64(l)) {
+				return
+			}
+		}
+	}
+}
+
+// Neighbors returns the out-neighbors of v as a slice (degree-sized
+// allocation; use EachNeighbor to stream).
+func (p *Product) Neighbors(v int64) []int64 {
+	out := make([]int64, 0, p.OutDegreeRaw(v))
+	p.EachNeighbor(v, func(u int64) bool {
+		out = append(out, u)
+		return true
+	})
+	return out
+}
+
+// EachArc streams every arc (u, v) of C in lexicographic order: the full
+// |arcs(A)|·|arcs(B)| edge list of the product, generated from the factors
+// without materializing anything. Stops early if fn returns false.
+func (p *Product) EachArc(fn func(u, v int64) bool) {
+	nA := p.A.NumVertices()
+	for i := 0; i < nA; i++ {
+		nbA := p.A.Neighbors(int32(i))
+		if len(nbA) == 0 {
+			continue
+		}
+		for k := int64(0); k < p.nB; k++ {
+			u := int64(i)*p.nB + k
+			nbB := p.B.Neighbors(int32(k))
+			if len(nbB) == 0 {
+				continue
+			}
+			for _, j := range nbA {
+				base := int64(j) * p.nB
+				for _, l := range nbB {
+					if !fn(u, base+int64(l)) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Materialize builds the explicit product graph, refusing if the product
+// has more than maxVertices vertices or maxArcs arcs. Use only at
+// validation scale.
+func (p *Product) Materialize(maxVertices, maxArcs int64) (*graph.Graph, error) {
+	if p.NumVertices() > maxVertices || p.NumArcs() > maxArcs {
+		return nil, fmt.Errorf("%w: %d vertices, %d arcs", ErrTooLarge, p.NumVertices(), p.NumArcs())
+	}
+	if p.NumVertices() > (1<<31 - 1) {
+		return nil, fmt.Errorf("%w: %d vertices exceed explicit-graph limit", ErrTooLarge, p.NumVertices())
+	}
+	edges := make([]graph.Edge, 0, p.NumArcs())
+	p.EachArc(func(u, v int64) bool {
+		edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+		return true
+	})
+	c := graph.FromEdges(int(p.NumVertices()), edges, false)
+	if p.A.IsLabeled() {
+		labels := make([]int32, p.NumVertices())
+		for v := range labels {
+			i, _ := p.Factors(int64(v))
+			labels[v] = p.A.Label(i)
+		}
+		c = c.WithLabels(labels, p.A.NumLabels())
+	}
+	return c, nil
+}
+
+// Label returns the inherited label of product vertex v when the left
+// factor is labeled: f_C(p) = f_A(i(p)) (§V).
+func (p *Product) Label(v int64) int32 {
+	i, _ := p.Factors(v)
+	return p.A.Label(i)
+}
+
+// DegreeVector materializes the full degree vector of C (n_C entries);
+// only for validation-scale products.
+func (p *Product) DegreeVector() []int64 {
+	out := make([]int64, p.NumVertices())
+	for v := range out {
+		out[v] = p.Degree(int64(v))
+	}
+	return out
+}
+
+// MaxDegree returns the maximum degree of C along with a vertex achieving
+// it, computed from the factors in O(n_A + n_B): the maximum of the
+// degree formula factorizes over (i, k) pairs restricted to the four
+// loop/no-loop combinations.
+func (p *Product) MaxDegree() (int64, int64) {
+	// Evaluate the formula for the best i per loop-class of A crossed
+	// with the best k per loop-class of B. Because
+	// d = (dA+sA)(dB+sB) - sA·sB is monotone in dA and dB for fixed
+	// (sA, sB), it suffices to track the max degree within each class.
+	type best struct {
+		d  int64
+		v  int32
+		ok bool
+	}
+	classMax := func(g *graph.Graph, wantLoop bool) best {
+		var b best
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.LoopAt(int32(v)) != wantLoop {
+				continue
+			}
+			if d := g.Degree(int32(v)); !b.ok || d > b.d {
+				b = best{d, int32(v), true}
+			}
+		}
+		return b
+	}
+	var bestD int64 = -1
+	var bestV int64
+	for _, sa := range []bool{false, true} {
+		ba := classMax(p.A, sa)
+		if !ba.ok {
+			continue
+		}
+		for _, sb := range []bool{false, true} {
+			bb := classMax(p.B, sb)
+			if !bb.ok {
+				continue
+			}
+			da, db := ba.d, bb.d
+			var la, lb int64
+			if sa {
+				la = 1
+			}
+			if sb {
+				lb = 1
+			}
+			d := (da+la)*(db+lb) - la*lb
+			if d > bestD {
+				bestD = d
+				bestV = p.Vertex(ba.v, bb.v)
+			}
+		}
+	}
+	return bestD, bestV
+}

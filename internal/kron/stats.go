@@ -1,0 +1,236 @@
+package kron
+
+import (
+	"errors"
+
+	"kronvalid/internal/graph"
+	"kronvalid/internal/sparse"
+	"kronvalid/internal/triangle"
+)
+
+// FactorTriangleStats bundles the per-factor quantities every Kronecker
+// formula consumes. Computing it once per factor and reusing it across
+// formulas is the "inline with generation" workflow of the paper.
+type FactorTriangleStats struct {
+	G *graph.Graph
+	// T is t_G: triangle participation per vertex of the loop-free
+	// version (Def. 5).
+	T []int64
+	// Delta is Δ_G = (G-I∘G) ∘ (G-I∘G)² (Def. 6).
+	Delta *sparse.Matrix
+	// DiagCube is diag(G³) including self-loop walks, the quantity
+	// appearing in Cor. 1, Thm. 4, and Thm. 6.
+	DiagCube []int64
+	// HadSquare is G ∘ G², the edge-side analog (Cor. 2, Thm. 5, Thm. 7).
+	HadSquare *sparse.Matrix
+	// Total is τ(G) of the loop-free version.
+	Total int64
+	// WedgeChecks records the cost of the combinatorial triangle pass.
+	WedgeChecks int64
+}
+
+// ComputeFactorStats runs the triangle engine on the loop-free part of g
+// and the sparse kernels on the full g.
+func ComputeFactorStats(g *graph.Graph) *FactorTriangleStats {
+	res := triangle.Count(g)
+	a := g.ToSparse()
+	a2 := a.Mul(a)
+	return &FactorTriangleStats{
+		G:           g,
+		T:           res.PerVertex,
+		Delta:       res.EdgeDelta,
+		DiagCube:    sparse.DiagOfProduct(a2, a),
+		HadSquare:   a.Hadamard(a2),
+		Total:       res.Total,
+		WedgeChecks: res.WedgeChecks,
+	}
+}
+
+func requireUndirected(p *Product) error {
+	if !p.A.IsSymmetric() || !p.B.IsSymmetric() {
+		return errors.New("kron: formula requires undirected factors")
+	}
+	return nil
+}
+
+// VertexParticipation returns t_C, the triangle participation of every
+// vertex of C = A ⊗ B, as a lazy Kronecker expansion. It handles all
+// three self-loop regimes with the general §III.B expansion
+//
+//	t_C = ½[ diag(A³)⊗diag(B³) - 2·diag(A²D_A)⊗diag(B²D_B)
+//	        - diag(A D_A A)⊗diag(B D_B B) + 2·diag(D_A)⊗diag(D_B) ],
+//
+// which reduces to Thm. 1 (t_C = 2 t_A ⊗ t_B) when neither factor has
+// loops and to Cor. 1 (t_C = t_A ⊗ diag(B³)) when only B does. Both
+// factors must be undirected.
+func VertexParticipation(p *Product) (*KronVecSum, error) {
+	if err := requireUndirected(p); err != nil {
+		return nil, err
+	}
+	a, b := p.A.ToSparse(), p.B.ToSparse()
+	da, db := a.DiagPart(), b.DiagPart()
+	a2, b2 := a.Mul(a), b.Mul(b)
+
+	sum := &KronVecSum{Den: 2, nB: p.nB}
+	sum.Terms = append(sum.Terms, VecTerm{
+		Coef: 1,
+		U:    sparse.DiagOfProduct(a2, a),
+		V:    sparse.DiagOfProduct(b2, b),
+	})
+	if da.NNZ() != 0 && db.NNZ() != 0 {
+		sum.Terms = append(sum.Terms,
+			VecTerm{
+				Coef: -2,
+				U:    sparse.DiagOfProduct(a2, da),
+				V:    sparse.DiagOfProduct(b2, db),
+			},
+			VecTerm{
+				Coef: -1,
+				U:    sparse.Diag3(a, da, a),
+				V:    sparse.Diag3(b, db, b),
+			},
+			VecTerm{
+				Coef: 2,
+				U:    da.Diag(),
+				V:    db.Diag(),
+			},
+		)
+	}
+	return sum, nil
+}
+
+// VertexParticipationNoLoops is Thm. 1 specialized: t_C = 2·t_A ⊗ t_B.
+// Errors unless both factors are loop-free and undirected.
+func VertexParticipationNoLoops(p *Product, sa, sb *FactorTriangleStats) (*KronVecSum, error) {
+	if err := requireUndirected(p); err != nil {
+		return nil, err
+	}
+	if p.A.HasAnyLoop() || p.B.HasAnyLoop() {
+		return nil, errors.New("kron: Thm. 1 requires loop-free factors")
+	}
+	return &KronVecSum{
+		Terms: []VecTerm{{Coef: 2, U: sa.T, V: sb.T}},
+		Den:   1,
+		nB:    p.nB,
+	}, nil
+}
+
+// VertexParticipationLoopsInB is Cor. 1 specialized:
+// t_C = t_A ⊗ diag(B³), for loop-free A and arbitrary undirected B.
+func VertexParticipationLoopsInB(p *Product, sa, sb *FactorTriangleStats) (*KronVecSum, error) {
+	if err := requireUndirected(p); err != nil {
+		return nil, err
+	}
+	if p.A.HasAnyLoop() {
+		return nil, errors.New("kron: Cor. 1 requires a loop-free left factor")
+	}
+	return &KronVecSum{
+		Terms: []VecTerm{{Coef: 1, U: sa.T, V: sb.DiagCube}},
+		Den:   1,
+		nB:    p.nB,
+	}, nil
+}
+
+// EdgeParticipation returns Δ_C, the triangle participation of every edge
+// of C, as a lazy Kronecker expansion, using the general §III.C expansion
+//
+//	Δ_C = (A∘A²)⊗(B∘B²) - (D_A A)⊗(D_B B) - (A D_A)⊗(B D_B)
+//	      + 2·D_A⊗D_B - (D_A∘A²)⊗(D_B∘B²),
+//
+// which reduces to Thm. 2 (Δ_C = Δ_A ⊗ Δ_B) with loop-free factors and to
+// Cor. 2 (Δ_C = Δ_A ⊗ (B∘B²)) when only B has loops.
+func EdgeParticipation(p *Product) (*KronMatSum, error) {
+	if err := requireUndirected(p); err != nil {
+		return nil, err
+	}
+	a, b := p.A.ToSparse(), p.B.ToSparse()
+	da, db := a.DiagPart(), b.DiagPart()
+	a2, b2 := a.Mul(a), b.Mul(b)
+
+	sum := &KronMatSum{nB: p.nB, mB: p.nB}
+	sum.Terms = append(sum.Terms, MatTerm{Coef: 1, M: a.Hadamard(a2), N: b.Hadamard(b2)})
+	if da.NNZ() != 0 && db.NNZ() != 0 {
+		sum.Terms = append(sum.Terms,
+			MatTerm{Coef: -1, M: da.Mul(a), N: db.Mul(b)},
+			MatTerm{Coef: -1, M: a.Mul(da), N: b.Mul(db)},
+			MatTerm{Coef: 2, M: da, N: db},
+			MatTerm{Coef: -1, M: da.Hadamard(a2), N: db.Hadamard(b2)},
+		)
+	}
+	return sum, nil
+}
+
+// EdgeParticipationNoLoops is Thm. 2 specialized: Δ_C = Δ_A ⊗ Δ_B.
+func EdgeParticipationNoLoops(p *Product, sa, sb *FactorTriangleStats) (*KronMatSum, error) {
+	if err := requireUndirected(p); err != nil {
+		return nil, err
+	}
+	if p.A.HasAnyLoop() || p.B.HasAnyLoop() {
+		return nil, errors.New("kron: Thm. 2 requires loop-free factors")
+	}
+	return &KronMatSum{
+		Terms: []MatTerm{{Coef: 1, M: sa.Delta, N: sb.Delta}},
+		nB:    p.nB, mB: p.nB,
+	}, nil
+}
+
+// EdgeParticipationLoopsInB is Cor. 2 specialized:
+// Δ_C = Δ_A ⊗ (B ∘ B²), for loop-free A.
+func EdgeParticipationLoopsInB(p *Product, sa, sb *FactorTriangleStats) (*KronMatSum, error) {
+	if err := requireUndirected(p); err != nil {
+		return nil, err
+	}
+	if p.A.HasAnyLoop() {
+		return nil, errors.New("kron: Cor. 2 requires a loop-free left factor")
+	}
+	return &KronMatSum{
+		Terms: []MatTerm{{Coef: 1, M: sa.Delta, N: sb.HadSquare}},
+		nB:    p.nB, mB: p.nB,
+	}, nil
+}
+
+// TriangleTotal returns τ(C) = Σ_p t_C(p) / 3, exactly, with overflow
+// checking. With loop-free factors this specializes to the paper's
+// τ(C) = 6·τ(A)·τ(B).
+func TriangleTotal(p *Product) (int64, error) {
+	tc, err := VertexParticipation(p)
+	if err != nil {
+		return 0, err
+	}
+	total, err := tc.Total()
+	if err != nil {
+		return 0, err
+	}
+	if total%3 != 0 {
+		return 0, errors.New("kron: vertex participation total not divisible by 3")
+	}
+	return total / 3, nil
+}
+
+// OutDegrees returns d^out_C = d^out_A ⊗ d^out_B as a lazy Kronecker
+// vector (row sums including self loops, §IV.B).
+func OutDegrees(p *Product) *KronVecSum {
+	return &KronVecSum{
+		Terms: []VecTerm{{Coef: 1, U: rawRowSums(p.A), V: rawRowSums(p.B)}},
+		Den:   1,
+		nB:    p.nB,
+	}
+}
+
+// InDegrees returns d^in_C = d^in_A ⊗ d^in_B (column sums including self
+// loops).
+func InDegrees(p *Product) *KronVecSum {
+	return &KronVecSum{
+		Terms: []VecTerm{{Coef: 1, U: p.A.ToSparse().ColSums(), V: p.B.ToSparse().ColSums()}},
+		Den:   1,
+		nB:    p.nB,
+	}
+}
+
+func rawRowSums(g *graph.Graph) []int64 {
+	out := make([]int64, g.NumVertices())
+	for v := range out {
+		out[v] = g.OutDegreeRaw(int32(v))
+	}
+	return out
+}

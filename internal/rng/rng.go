@@ -1,0 +1,151 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the graph generators.
+//
+// The package intentionally avoids math/rand so that (a) every generated
+// graph is reproducible from a single uint64 seed across Go versions, and
+// (b) independent generator streams can be split cheaply for
+// communication-free parallel generation (each worker derives its own
+// stream from the shared seed and its worker id).
+package rng
+
+import "math/bits"
+
+// SplitMix64 is the SplitMix64 generator of Steele, Lea and Flood.
+// It passes BigCrush, has a period of 2^64 and is primarily used here to
+// seed the larger-state xoshiro generator and to hash worker ids into
+// independent stream seeds. The zero value is a valid generator seeded
+// with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 is a stateless avalanche of x, the finalizer used by SplitMix64.
+// It is used to derive independent stream seeds: Mix64(seed ^ streamID).
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** generator of Blackman and Vigna: fast,
+// 256 bits of state, period 2^256-1. It is the workhorse generator of the
+// package.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 generator seeded from seed via SplitMix64, per
+// the authors' recommendation. Any seed (including 0) is valid.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var g Xoshiro256
+	for i := range g.s {
+		g.s[i] = sm.Next()
+	}
+	// The all-zero state is invalid; SplitMix64 cannot emit four
+	// consecutive zeros, but guard anyway.
+	if g.s[0]|g.s[1]|g.s[2]|g.s[3] == 0 {
+		g.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &g
+}
+
+// NewStream returns a generator for logical stream id derived from seed.
+// Distinct ids yield (with overwhelming probability) non-overlapping,
+// statistically independent streams, enabling communication-free parallel
+// generation with per-worker determinism.
+func NewStream(seed, id uint64) *Xoshiro256 {
+	return New(Mix64(seed ^ (id * 0x9e3779b97f4a7c15) + 0x2545f4914f6cdd1d))
+}
+
+// Uint64 returns the next 64 uniform random bits.
+func (g *Xoshiro256) Uint64() uint64 {
+	result := bits.RotateLeft64(g.s[1]*5, 7) * 9
+	t := g.s[1] << 17
+	g.s[2] ^= g.s[0]
+	g.s[3] ^= g.s[1]
+	g.s[1] ^= g.s[2]
+	g.s[0] ^= g.s[3]
+	g.s[2] ^= t
+	g.s[3] = bits.RotateLeft64(g.s[3], 45)
+	return result
+}
+
+// Int64n returns a uniform value in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (g *Xoshiro256) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64n with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(g.Uint64(), un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(g.Uint64(), un)
+		}
+	}
+	return int64(hi)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (g *Xoshiro256) Intn(n int) int {
+	return int(g.Int64n(int64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (g *Xoshiro256) Float64() float64 {
+	return float64(g.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform boolean.
+func (g *Xoshiro256) Bool() bool {
+	return g.Uint64()&1 == 1
+}
+
+// Perm returns a uniform random permutation of [0, n) via Fisher-Yates.
+func (g *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls of
+// Uint64. It can be used to split one seed into up to 2^128 parallel
+// non-overlapping subsequences.
+func (g *Xoshiro256) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= g.s[0]
+				s1 ^= g.s[1]
+				s2 ^= g.s[2]
+				s3 ^= g.s[3]
+			}
+			g.Uint64()
+		}
+	}
+	g.s[0], g.s[1], g.s[2], g.s[3] = s0, s1, s2, s3
+}

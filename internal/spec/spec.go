@@ -1,0 +1,239 @@
+// Package spec parses compact factor-graph specifications used by the
+// command-line tools, e.g.
+//
+//	web:n=4096,m=4,pt=0.7,seed=42      scale-free with triad closure
+//	clique:n=5                          K_5
+//	jclique:n=5                         J_5 (clique + all self loops)
+//	hubcycle:c=4                        Ex. 2 graph
+//	cycle:n=9 | path:n=9 | star:n=9
+//	er:n=200,p=0.1,seed=1               Erdős–Rényi
+//	ba:n=1000,m=3,seed=1                Barabási–Albert
+//	pa1:n=500,seed=1                    §III.D(b) Δ≤1 generator
+//	rmat:scale=10,edges=16384,seed=1    R-MAT (defaults to Graph500 parameters)
+//	file:path=edges.tsv,n=100           TSV edge list (symmetrized)
+//
+// A trailing "+loops" adds a self loop at every vertex (B = A + I).
+package spec
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kronvalid/internal/gen"
+	"kronvalid/internal/gio"
+	"kronvalid/internal/graph"
+)
+
+type params map[string]string
+
+func (p params) int(key string, def int) (int, error) {
+	s, ok := p[key]
+	if !ok {
+		if def < 0 {
+			return 0, fmt.Errorf("spec: missing required parameter %q", key)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("spec: parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
+func (p params) int64(key string, def int64) (int64, error) {
+	s, ok := p[key]
+	if !ok {
+		if def < 0 {
+			return 0, fmt.Errorf("spec: missing required parameter %q", key)
+		}
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spec: parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
+func (p params) float(key string, def float64) (float64, error) {
+	s, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spec: parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
+func (p params) seed() (uint64, error) {
+	s, ok := p["seed"]
+	if !ok {
+		return 1, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spec: parameter \"seed\": %v", err)
+	}
+	return v, nil
+}
+
+// Parse builds a factor graph from a specification string.
+func Parse(s string) (*graph.Graph, error) {
+	addLoops := false
+	if strings.HasSuffix(s, "+loops") {
+		addLoops = true
+		s = strings.TrimSuffix(s, "+loops")
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	p := params{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("spec: malformed parameter %q", kv)
+			}
+			p[k] = v
+		}
+	}
+	g, err := build(kind, p)
+	if err != nil {
+		return nil, err
+	}
+	if addLoops {
+		g = g.WithAllLoops()
+	}
+	return g, nil
+}
+
+func build(kind string, p params) (*graph.Graph, error) {
+	seed, err := p.seed()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "clique":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Clique(n), nil
+	case "jclique":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.CliqueWithLoops(n), nil
+	case "hubcycle":
+		c, err := p.int("c", 4)
+		if err != nil {
+			return nil, err
+		}
+		return gen.HubCycle(c), nil
+	case "cycle":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Cycle(n), nil
+	case "path":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Path(n), nil
+	case "star":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Star(n), nil
+	case "er":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		prob, err := p.float("p", 0.1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.ErdosRenyi(n, prob, seed), nil
+	case "ba":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := p.int("m", 3)
+		if err != nil {
+			return nil, err
+		}
+		return gen.BarabasiAlbert(n, m, seed), nil
+	case "web":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := p.int("m", 3)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.float("pt", 0.7)
+		if err != nil {
+			return nil, err
+		}
+		return gen.WebGraph(n, m, pt, seed), nil
+	case "pa1":
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		return gen.TriangleLimitedPA(n, seed), nil
+	case "rmat":
+		scale, err := p.int("scale", -1)
+		if err != nil {
+			return nil, err
+		}
+		edges, err := p.int64("edges", 16<<uint(scale))
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.float("a", 0.57)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.float("b", 0.19)
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.float("c", 0.19)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.float("d", 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return gen.RMAT(scale, edges, a, b, c, d, seed), nil
+	case "file":
+		path, ok := p["path"]
+		if !ok {
+			return nil, fmt.Errorf("spec: file requires path=")
+		}
+		n, err := p.int("n", -1)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return gio.ReadEdgeList(f, n, true)
+	default:
+		return nil, fmt.Errorf("spec: unknown generator kind %q", kind)
+	}
+}

@@ -1,0 +1,116 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFamilies(t *testing.T) {
+	cases := []struct {
+		spec     string
+		vertices int
+		loops    int64
+	}{
+		{"clique:n=5", 5, 0},
+		{"jclique:n=4", 4, 4},
+		{"hubcycle:c=4", 5, 0},
+		{"hubcycle", 5, 0},
+		{"cycle:n=7", 7, 0},
+		{"path:n=7", 7, 0},
+		{"star:n=7", 7, 0},
+		{"er:n=30,p=0.2,seed=3", 30, 0},
+		{"ba:n=40,m=2,seed=3", 40, 0},
+		{"web:n=50,m=3,pt=0.6,seed=3", 50, 0},
+		{"pa1:n=25,seed=3", 25, 0},
+		{"rmat:scale=5,seed=3", 32, 0},
+		{"clique:n=3+loops", 3, 3},
+	}
+	for _, c := range cases {
+		g, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.NumVertices() != c.vertices {
+			t.Errorf("%s: vertices = %d, want %d", c.spec, g.NumVertices(), c.vertices)
+		}
+		if g.NumLoops() != c.loops {
+			t.Errorf("%s: loops = %d, want %d", c.spec, g.NumLoops(), c.loops)
+		}
+	}
+}
+
+func TestParseDeterministic(t *testing.T) {
+	a, err := Parse("web:n=60,m=3,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("web:n=60,m=3,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same spec produced different graphs")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"nope:n=3", "clique", "clique:n=x", "er:n=10,p=zz",
+		"clique:n", "file:n=3", "ba:n=10,seed=-1",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.tsv")
+	if err := os.WriteFile(path, []byte("0\t1\n1\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse("file:path=" + path + ",n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdgesUndirected() != 2 || !g.IsSymmetric() {
+		t.Fatal("file parse wrong")
+	}
+}
+
+func TestParseAllErrorBranches(t *testing.T) {
+	cases := []string{
+		"jclique",            // missing n
+		"cycle",              // missing n
+		"path",               // missing n
+		"star",               // missing n
+		"ba",                 // missing n
+		"web",                // missing n
+		"pa1",                // missing n
+		"rmat",               // missing scale
+		"er",                 // missing n
+		"hubcycle:c=x",       // bad int
+		"web:n=10,m=2,pt=zz", // bad float
+		"rmat:scale=5,a=zz",  // bad float
+		"rmat:scale=5,edges=zz",
+		"file:path=/does/not/exist,n=3",
+		"er:n=10+loops+loops", // malformed suffix params
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}
+
+func TestParseLoopsSuffixOnRandom(t *testing.T) {
+	g, err := Parse("ba:n=20,m=2,seed=4+loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLoops() != 20 {
+		t.Errorf("loops = %d, want 20", g.NumLoops())
+	}
+}

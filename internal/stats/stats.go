@@ -1,0 +1,173 @@
+// Package stats provides the distribution analysis of §III.A: degree and
+// triangle histograms, complementary CDFs, max-degree ratios (whose
+// squaring under the Kronecker product the paper highlights), and a Hill
+// estimator for heavy-tail exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts occurrences of each value.
+type Histogram struct {
+	counts map[int64]int64
+	total  int64
+}
+
+// NewHistogram builds a histogram from values.
+func NewHistogram(values []int64) *Histogram {
+	h := &Histogram{counts: map[int64]int64{}}
+	for _, v := range values {
+		h.Add(v)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of value v (for closed-form product
+// histograms).
+func (h *Histogram) AddN(v, n int64) {
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the multiplicity of v.
+func (h *Histogram) Count(v int64) int64 { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Support returns the distinct observed values, sorted.
+func (h *Histogram) Support() []int64 {
+	out := make([]int64, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Max returns the largest observed value (0 for an empty histogram).
+func (h *Histogram) Max() int64 {
+	var mx int64
+	for v := range h.counts {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// CCDF returns P(X >= x) for each x in the sorted support.
+func (h *Histogram) CCDF() (xs []int64, ps []float64) {
+	xs = h.Support()
+	ps = make([]float64, len(xs))
+	var above int64 = h.total
+	for i, x := range xs {
+		ps[i] = float64(above) / float64(h.total)
+		above -= h.counts[x]
+	}
+	return xs, ps
+}
+
+// KronHistogram returns the histogram of u ⊗ v given the histograms of u
+// and v: the product distribution. This is how degree distributions of
+// products are computed without touching n_A·n_B values.
+func KronHistogram(hu, hv *Histogram) *Histogram {
+	out := &Histogram{counts: map[int64]int64{}}
+	for a, ca := range hu.counts {
+		for b, cb := range hv.counts {
+			out.AddN(a*b, ca*cb)
+		}
+	}
+	return out
+}
+
+// String renders the histogram compactly.
+func (h *Histogram) String() string {
+	xs := h.Support()
+	s := ""
+	for _, x := range xs {
+		s += fmt.Sprintf("%d:%d ", x, h.counts[x])
+	}
+	return s
+}
+
+// MaxDegreeRatio returns ‖d‖∞ / n, the quantity §III.A shows gets
+// squared by the Kronecker product.
+func MaxDegreeRatio(degrees []int64) float64 {
+	if len(degrees) == 0 {
+		return 0
+	}
+	var mx int64
+	for _, d := range degrees {
+		if d > mx {
+			mx = d
+		}
+	}
+	return float64(mx) / float64(len(degrees))
+}
+
+// HillEstimator returns the Hill estimate of the tail exponent alpha of a
+// heavy-tailed sample, using the k largest observations: alpha = 1 +
+// k / Σ ln(x_i / x_k). Returns NaN if fewer than k+1 positive values.
+func HillEstimator(values []int64, k int) float64 {
+	var pos []float64
+	for _, v := range values {
+		if v > 0 {
+			pos = append(pos, float64(v))
+		}
+	}
+	if k < 1 || len(pos) <= k {
+		return math.NaN()
+	}
+	sort.Float64s(pos)
+	xk := pos[len(pos)-k-1]
+	var sum float64
+	for i := len(pos) - k; i < len(pos); i++ {
+		sum += math.Log(pos[i] / xk)
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return 1 + float64(k)/sum
+}
+
+// GiniCoefficient measures degree inequality in [0, 1): 0 for regular
+// graphs, approaching 1 for extreme hubs.
+func GiniCoefficient(values []int64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += float64(v)
+		weighted += float64(v) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}

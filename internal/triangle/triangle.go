@@ -1,0 +1,275 @@
+// Package triangle computes exact triangle statistics of explicit graphs:
+// per-vertex participation t_A (Def. 5), per-edge participation Δ_A
+// (Def. 6), and the total count τ(A). It is both the baseline the paper's
+// Kronecker formulas are validated against and the engine that computes
+// factor statistics during generation.
+//
+// The core algorithm is the "forward" (compact-forward) algorithm in the
+// Chiba–Nishizeki degree ordering: vertices are ranked by non-decreasing
+// degree, adjacency is restricted to higher-ranked neighbors, and each
+// triangle is discovered exactly once as an ordered triple
+// rank(u) < rank(v) < rank(w) via sorted-list intersection. The worst-case
+// work is O(|E|^{3/2}); the number of comparisons performed is reported as
+// WedgeChecks, the unit the paper uses for its sublinearity claim
+// ("7,734,429 wedge checks" for a hundred-trillion-triangle product).
+//
+// Self loops never participate in triangles (Def. 5 and Def. 6 strip the
+// diagonal); the package ignores them.
+package triangle
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"kronvalid/internal/graph"
+	"kronvalid/internal/par"
+	"kronvalid/internal/sparse"
+)
+
+// Result holds the exact triangle statistics of one graph.
+type Result struct {
+	// PerVertex is t_A: the number of triangles each vertex participates
+	// in.
+	PerVertex []int64
+	// EdgeDelta is Δ_A: a symmetric matrix whose (i,j) entry is the
+	// number of triangles containing edge (i,j). The diagonal is zero.
+	EdgeDelta *sparse.Matrix
+	// Total is τ(A), the number of distinct triangles.
+	Total int64
+	// WedgeChecks counts sorted-intersection comparisons performed, the
+	// paper's cost unit for ground-truth computation.
+	WedgeChecks int64
+}
+
+// Count computes exact triangle statistics for an undirected graph
+// (self loops are ignored). It panics if g is not symmetric.
+func Count(g *graph.Graph) *Result {
+	if !g.IsSymmetric() {
+		panic("triangle: Count requires an undirected (symmetric) graph")
+	}
+	n := g.NumVertices()
+	work := g.WithoutLoops()
+
+	rank := degreeRank(work)
+
+	// Forward adjacency: fwd[u] lists neighbors v with rank(v) > rank(u),
+	// sorted by rank. Stored flat.
+	fwdOff := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		cnt := 0
+		for _, v := range work.Neighbors(int32(u)) {
+			if rank[v] > rank[u] {
+				cnt++
+			}
+		}
+		fwdOff[u+1] = fwdOff[u] + int64(cnt)
+	}
+	fwd := make([]int32, fwdOff[n])
+	par.ForBlocked(int64(n), func(lo, hi int64) {
+		for u := lo; u < hi; u++ {
+			pos := fwdOff[u]
+			for _, v := range work.Neighbors(int32(u)) {
+				if rank[v] > rank[u] {
+					fwd[pos] = v
+					pos++
+				}
+			}
+			seg := fwd[fwdOff[u]:pos]
+			sort.Slice(seg, func(a, b int) bool { return rank[seg[a]] < rank[seg[b]] })
+		}
+	})
+
+	perVertex := make([]int64, n)
+	deltaVals := make([]int64, work.NumArcs()) // aligned to work's arc order
+	var wedges, total atomic.Int64
+
+	arcIndex := arcIndexer(work)
+
+	par.ForDynamic(int64(n), 64, func(ui int64) {
+		u := int32(ui)
+		fu := fwd[fwdOff[u]:fwdOff[u+1]]
+		var localWedges, localTri int64
+		for _, v := range fu {
+			fv := fwd[fwdOff[v]:fwdOff[v+1]]
+			// Intersect fu and fv by rank order.
+			i, j := 0, 0
+			for i < len(fu) && j < len(fv) {
+				localWedges++
+				ru, rv := rank[fu[i]], rank[fv[j]]
+				switch {
+				case ru < rv:
+					i++
+				case rv < ru:
+					j++
+				default:
+					w := fu[i]
+					localTri++
+					atomic.AddInt64(&perVertex[u], 1)
+					atomic.AddInt64(&perVertex[v], 1)
+					atomic.AddInt64(&perVertex[w], 1)
+					atomic.AddInt64(&deltaVals[arcIndex(u, v)], 1)
+					atomic.AddInt64(&deltaVals[arcIndex(v, u)], 1)
+					atomic.AddInt64(&deltaVals[arcIndex(u, w)], 1)
+					atomic.AddInt64(&deltaVals[arcIndex(w, u)], 1)
+					atomic.AddInt64(&deltaVals[arcIndex(v, w)], 1)
+					atomic.AddInt64(&deltaVals[arcIndex(w, v)], 1)
+					i++
+					j++
+				}
+			}
+		}
+		wedges.Add(localWedges)
+		total.Add(localTri)
+	})
+
+	return &Result{
+		PerVertex:   perVertex,
+		EdgeDelta:   deltaMatrix(work, deltaVals),
+		Total:       total.Load(),
+		WedgeChecks: wedges.Load(),
+	}
+}
+
+// degreeRank returns a permutation rank where rank[v] orders vertices by
+// (degree, id) increasing. Ties broken by id keep the order deterministic.
+func degreeRank(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.OutDegreeRaw(order[a]), g.OutDegreeRaw(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int32, n)
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	return rank
+}
+
+// arcIndexer returns a function mapping arc (u,v) to its position in g's
+// flattened adjacency, by binary search within u's neighbor slice.
+func arcIndexer(g *graph.Graph) func(u, v int32) int64 {
+	return func(u, v int32) int64 {
+		nb := g.Neighbors(u)
+		k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+		if k == len(nb) || nb[k] != v {
+			panic("triangle: arc not found")
+		}
+		return g.ArcOffset(u) + int64(k)
+	}
+}
+
+// deltaMatrix assembles the Δ matrix from per-arc counts aligned with g's
+// adjacency order.
+func deltaMatrix(g *graph.Graph, vals []int64) *sparse.Matrix {
+	n := g.NumVertices()
+	var ts []sparse.Triplet
+	idx := 0
+	g.EachArc(func(u, v int32) bool {
+		if vals[idx] != 0 {
+			ts = append(ts, sparse.Triplet{Row: int(u), Col: int(v), Val: vals[idx]})
+		}
+		idx++
+		return true
+	})
+	return sparse.FromTriplets(n, n, ts)
+}
+
+// EachTriangle enumerates every triangle of the undirected version of g
+// exactly once, calling fn(u, v, w) with three distinct vertices (order
+// unspecified but deterministic). Self loops are ignored. Enumeration is
+// serial; it is the reference used by the census packages.
+func EachTriangle(g *graph.Graph, fn func(u, v, w int32)) {
+	work := g
+	if !g.IsSymmetric() {
+		work = g.Undirected()
+	}
+	work = work.WithoutLoops()
+	n := work.NumVertices()
+	rank := degreeRank(work)
+	fwd := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range work.Neighbors(int32(u)) {
+			if rank[v] > rank[u] {
+				fwd[u] = append(fwd[u], v)
+			}
+		}
+		seg := fwd[u]
+		sort.Slice(seg, func(a, b int) bool { return rank[seg[a]] < rank[seg[b]] })
+	}
+	for u := 0; u < n; u++ {
+		fu := fwd[u]
+		for _, v := range fu {
+			fv := fwd[v]
+			i, j := 0, 0
+			for i < len(fu) && j < len(fv) {
+				ru, rv := rank[fu[i]], rank[fv[j]]
+				switch {
+				case ru < rv:
+					i++
+				case rv < ru:
+					j++
+				default:
+					fn(int32(u), v, fu[i])
+					i++
+					j++
+				}
+			}
+		}
+	}
+}
+
+// TotalFromPerVertex recovers τ = (1/3)·Σ t_v, validating divisibility.
+func TotalFromPerVertex(t []int64) int64 {
+	s := sparse.SumVec(t)
+	if s%3 != 0 {
+		panic("triangle: per-vertex sum not divisible by 3")
+	}
+	return s / 3
+}
+
+// TotalFromEdgeDelta recovers τ = (1/6)·Σ_{ij} Δ_ij for a symmetric Δ.
+func TotalFromEdgeDelta(d *sparse.Matrix) int64 {
+	s := d.Total()
+	if s%6 != 0 {
+		panic("triangle: edge-delta sum not divisible by 6")
+	}
+	return s / 6
+}
+
+// LocalClusteringCoefficients returns the per-vertex local clustering
+// coefficient 2·t_v / (d_v·(d_v-1)) of the undirected loop-free graph,
+// one of the paper's motivating downstream statistics.
+func LocalClusteringCoefficients(g *graph.Graph) []float64 {
+	res := Count(g)
+	work := g.WithoutLoops()
+	out := make([]float64, g.NumVertices())
+	for v := range out {
+		d := work.OutDegreeRaw(int32(v))
+		if d >= 2 {
+			out[v] = 2 * float64(res.PerVertex[v]) / float64(d*(d-1))
+		}
+	}
+	return out
+}
+
+// GlobalClusteringCoefficient returns 3τ / #wedges (transitivity).
+func GlobalClusteringCoefficient(g *graph.Graph) float64 {
+	res := Count(g)
+	work := g.WithoutLoops()
+	var wedges int64
+	for v := 0; v < work.NumVertices(); v++ {
+		d := work.OutDegreeRaw(int32(v))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(res.Total) / float64(wedges)
+}
