@@ -11,6 +11,7 @@ import (
 	"kronvalid/internal/kron"
 	"kronvalid/internal/sparse"
 	"kronvalid/internal/stats"
+	"kronvalid/internal/stream"
 	"kronvalid/internal/triangle"
 	"kronvalid/internal/truss"
 	"kronvalid/internal/verify"
@@ -318,6 +319,75 @@ type GenArc = distgen.Arc
 
 // NewGenPlan builds a plan for the given worker count (0 = GOMAXPROCS).
 func NewGenPlan(p *Product, workers int) *GenPlan { return distgen.NewPlan(p, workers) }
+
+// ---- batched edge streaming (the unified generation pipeline) ----
+
+// Arc is one directed product edge of the batched pipeline (identical to
+// GenArc).
+type Arc = stream.Arc
+
+// ArcSink consumes batches of product arcs; see the composable sinks
+// below and NewEdgeListSink/NewBinaryArcSink for serializers.
+type ArcSink = stream.Sink
+
+// StreamOptions tunes the batched pipeline: worker count, batch size, and
+// per-shard read-ahead. The zero value means GOMAXPROCS workers and
+// 4096-arc batches.
+type StreamOptions = stream.Options
+
+// CountingSink counts arcs; read N after streaming.
+type CountingSink = stream.CountSink
+
+// DedupCheckSink errors if the stream ever leaves strict canonical order
+// (which also proves it is duplicate-free).
+type DedupCheckSink = stream.DedupCheckSink
+
+// DegreeHistogramSink accumulates the out-degree histogram of the
+// stream's source vertices (complete after the stream flushes).
+type DegreeHistogramSink = stream.DegreeHistogramSink
+
+// MultiSink fans each batch out to several sinks, so one generation pass
+// can write, count, and check simultaneously.
+type MultiSink = stream.MultiSink
+
+// SinkFunc adapts a function to an ArcSink with a no-op Flush.
+type SinkFunc = stream.FuncSink
+
+// NewEdgeListSink returns an ArcSink serializing arcs as "u\tv\n" lines
+// via batched strconv encoding (no per-arc formatting).
+func NewEdgeListSink(w io.Writer) ArcSink { return gio.NewArcTextWriter(w) }
+
+// NewBinaryArcSink returns an ArcSink serializing arcs as little-endian
+// (uint64, uint64) pairs, 16 bytes per arc.
+func NewBinaryArcSink(w io.Writer) ArcSink { return gio.NewArcBinaryWriter(w) }
+
+// StreamEdges streams every arc of C = A ⊗ B into sink through the
+// parallel batched pipeline: the product is partitioned into
+// communication-free shards (opts.Workers of them; 0 = GOMAXPROCS) that
+// generate concurrently, while the sink observes batches in canonical
+// EachArc order — the byte stream is identical for every worker count.
+// Returns the number of arcs delivered.
+func StreamEdges(p *Product, opts StreamOptions, sink ArcSink) (int64, error) {
+	return distgen.NewPlan(p, opts.Workers).StreamTo(sink, opts)
+}
+
+// ShardManifest describes a WriteSharded output directory: factor
+// digests, partition, and per-shard arc counts.
+type ShardManifest = distgen.Manifest
+
+// WriteShardedOptions configures WriteSharded.
+type WriteShardedOptions = distgen.WriteOptions
+
+// WriteSharded writes the product's edge list into dir as one file per
+// shard plus a manifest.json, generating shards in parallel. Output is
+// bitwise reproducible, and concatenating the shard files in index order
+// reproduces the serial EachArc stream.
+func WriteSharded(dir string, p *Product, workers int, opts WriteShardedOptions) (*ShardManifest, error) {
+	return distgen.WriteSharded(dir, distgen.NewPlan(p, workers), opts)
+}
+
+// ReadShardManifest parses the manifest.json of a WriteSharded directory.
+func ReadShardManifest(dir string) (*ShardManifest, error) { return distgen.ReadManifest(dir) }
 
 // ---- I/O ----
 

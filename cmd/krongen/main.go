@@ -1,10 +1,12 @@
 // Krongen streams or shards the edge list of a Kronecker product graph
-// C = A ⊗ B built from two factor specifications.
+// C = A ⊗ B built from two factor specifications, using the batched
+// parallel pipeline (output is bitwise identical for any worker count).
 //
 // Usage:
 //
 //	krongen -a 'web:n=4096,m=4,seed=42' -b 'clique:n=5' > edges.tsv
-//	krongen -a ... -b ... -shards 16 -out dir/      # one file per shard
+//	krongen -a ... -b ... -shards 16 -out dir/      # shard files + manifest.json
+//	krongen -a ... -b ... -shards 16 -out dir/ -binary
 //	krongen -a ... -b ... -count                    # sizes only
 //
 // See package internal/spec for the factor specification grammar.
@@ -15,10 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
-	"kronvalid/internal/distgen"
-	"kronvalid/internal/kron"
+	"kronvalid"
 	"kronvalid/internal/spec"
 )
 
@@ -28,7 +28,8 @@ func main() {
 	aSpec := flag.String("a", "", "left factor specification (required)")
 	bSpec := flag.String("b", "", "right factor specification (required)")
 	shards := flag.Int("shards", 1, "number of shards")
-	outDir := flag.String("out", "", "output directory for shard files (default: stdout, single shard)")
+	outDir := flag.String("out", "", "output directory for shard files (default: stdout stream)")
+	useBinary := flag.Bool("binary", false, "write 16-byte binary arcs instead of TSV (needs -out)")
 	countOnly := flag.Bool("count", false, "print sizes and exit without generating")
 	flag.Parse()
 
@@ -43,13 +44,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := kron.NewProduct(a, b)
+	p, err := kronvalid.NewProduct(a, b)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan := distgen.NewPlan(p, *shards)
 
 	if *countOnly {
+		plan := kronvalid.NewGenPlan(p, *shards)
 		fmt.Printf("vertices\t%d\n", p.NumVertices())
 		fmt.Printf("arcs\t%d\n", p.NumArcs())
 		for w := 0; w < plan.Workers(); w++ {
@@ -59,32 +60,23 @@ func main() {
 	}
 
 	if *outDir == "" {
-		if plan.Workers() != 1 {
-			log.Fatal("multiple shards need -out DIR")
+		// Stream to stdout through the parallel pipeline: shards generate
+		// concurrently, bytes come out in canonical serial order.
+		if *useBinary {
+			log.Fatal("-binary needs -out DIR")
 		}
-		if _, err := plan.WriteShard(0, os.Stdout); err != nil {
+		sink := kronvalid.NewEdgeListSink(os.Stdout)
+		if _, err := kronvalid.StreamEdges(p, kronvalid.StreamOptions{Workers: *shards}, sink); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+
+	m, err := kronvalid.WriteSharded(*outDir, p, *shards,
+		kronvalid.WriteShardedOptions{Binary: *useBinary})
+	if err != nil {
 		log.Fatal(err)
 	}
-	var total int64
-	for w := 0; w < plan.Workers(); w++ {
-		path := filepath.Join(*outDir, fmt.Sprintf("shard-%03d.tsv", w))
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, err := plan.WriteShard(w, f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		total += n
-	}
-	fmt.Fprintf(os.Stderr, "krongen: wrote %d arcs in %d shards to %s\n", total, plan.Workers(), *outDir)
+	fmt.Fprintf(os.Stderr, "krongen: wrote %d arcs in %d shards (%s) to %s\n",
+		m.TotalArcs, m.Workers, m.Format, *outDir)
 }

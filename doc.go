@@ -29,8 +29,16 @@
 //	p := kronvalid.MustProduct(a, a)                  // implicit C = A ⊗ A, ~10^9 vertices
 //	t, _ := kronvalid.VertexParticipation(p)          // exact t_C, lazily evaluated
 //	total, _ := kronvalid.TriangleTotal(p)            // exact τ(C)
-//	p.EachArc(func(u, v int64) bool { …; return true }) // stream the edges
 //
-// See the examples directory for runnable programs and DESIGN.md /
-// EXPERIMENTS.md for the paper-reproduction index.
+//	// Stream the edges through the batched parallel pipeline (output is
+//	// bytewise identical for any worker count):
+//	var n kronvalid.CountingSink
+//	kronvalid.StreamEdges(p, kronvalid.StreamOptions{}, &n)
+//
+//	// Or shard them to disk with a reproducibility manifest:
+//	kronvalid.WriteSharded("out/", p, 16, kronvalid.WriteShardedOptions{})
+//
+// See README.md for a package map, the examples directory for runnable
+// programs, and DESIGN.md / EXPERIMENTS.md for the paper-reproduction
+// index and recorded results.
 package kronvalid

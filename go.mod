@@ -1,0 +1,3 @@
+module kronvalid
+
+go 1.24

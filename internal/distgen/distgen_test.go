@@ -2,11 +2,16 @@ package distgen
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 
 	"kronvalid/internal/gen"
+	"kronvalid/internal/gio"
 	"kronvalid/internal/kron"
+	"kronvalid/internal/stream"
 )
 
 func plan(t *testing.T, workers int) (*Plan, *kron.Product) {
@@ -37,7 +42,7 @@ func TestShardsReproduceSerialStream(t *testing.T) {
 		all := pl.CollectAll()
 		var serial []Arc
 		p.EachArc(func(u, v int64) bool {
-			serial = append(serial, Arc{u, v})
+			serial = append(serial, Arc{U: u, V: v})
 			return true
 		})
 		sort.Slice(serial, func(a, b int) bool {
@@ -166,5 +171,217 @@ func TestReadArcsBinaryTruncated(t *testing.T) {
 	data := buf.Bytes()[:buf.Len()-5] // cut mid-record
 	if _, err := ReadArcsBinary(bytes.NewReader(data)); err == nil {
 		t.Fatal("truncated binary stream accepted")
+	}
+}
+
+// TestShardConcatenationBytewiseDeterministic is the pipeline's central
+// guarantee: the concatenated shard output is bytewise identical for every
+// worker count and equal to the serial EachArc stream (same arcs, same
+// order, same bytes).
+func TestShardConcatenationBytewiseDeterministic(t *testing.T) {
+	a := gen.WebGraph(60, 3, 0.6, 7)
+	b := gen.HubCycle(5)
+	p := kron.MustProduct(a, b)
+
+	var serial bytes.Buffer
+	p.EachArc(func(u, v int64) bool {
+		fmt.Fprintf(&serial, "%d\t%d\n", u, v)
+		return true
+	})
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		pl := NewPlan(p, workers)
+		var got bytes.Buffer
+		var total int64
+		for w := 0; w < pl.Workers(); w++ {
+			n, err := pl.WriteShard(w, &got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += n
+		}
+		if total != p.NumArcs() {
+			t.Fatalf("workers=%d: wrote %d arcs, want %d", workers, total, p.NumArcs())
+		}
+		if !bytes.Equal(got.Bytes(), serial.Bytes()) {
+			t.Fatalf("workers=%d: concatenated shards differ from serial EachArc stream", workers)
+		}
+	}
+}
+
+// TestShardConcatenationMatchesEachArcOrderUnsorted checks arc-level order
+// (not just bytes): concatenating EachShardArc streams yields exactly the
+// EachArc sequence without any sorting.
+func TestShardConcatenationMatchesEachArcOrderUnsorted(t *testing.T) {
+	a := gen.WebGraph(50, 3, 0.55, 11)
+	b := gen.HubCycle(4)
+	p := kron.MustProduct(a, b)
+	var serial []Arc
+	p.EachArc(func(u, v int64) bool {
+		serial = append(serial, Arc{U: u, V: v})
+		return true
+	})
+	for _, workers := range []int{1, 2, 3, 8} {
+		pl := NewPlan(p, workers)
+		var got []Arc
+		for w := 0; w < pl.Workers(); w++ {
+			pl.EachShardArc(w, func(a Arc) bool {
+				got = append(got, a)
+				return true
+			})
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d arcs vs %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: arc %d is %v, serial has %v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestStreamToMatchesSerial runs the parallel ordered pipeline into an
+// in-memory text sink and compares bytes against the serial stream.
+func TestStreamToMatchesSerial(t *testing.T) {
+	a := gen.WebGraph(80, 3, 0.6, 13)
+	b := gen.HubCycle(6)
+	p := kron.MustProduct(a, b)
+	var serial bytes.Buffer
+	if _, err := NewPlan(p, 1).WriteShard(0, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		pl := NewPlan(p, workers)
+		var got bytes.Buffer
+		n, err := pl.StreamTo(gio.NewArcTextWriter(&got), stream.Options{Workers: workers, BatchSize: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != p.NumArcs() {
+			t.Fatalf("workers=%d: streamed %d arcs, want %d", workers, n, p.NumArcs())
+		}
+		if !bytes.Equal(got.Bytes(), serial.Bytes()) {
+			t.Fatalf("workers=%d: parallel stream differs from serial bytes", workers)
+		}
+	}
+}
+
+// TestWriteShardedManifestRoundTrip writes a sharded directory (text and
+// binary) and verifies files, counts, manifest, and that concatenated
+// shard files reproduce the serial stream.
+func TestWriteShardedManifestRoundTrip(t *testing.T) {
+	a := gen.WebGraph(40, 3, 0.6, 3)
+	b := gen.HubCycle(5)
+	p := kron.MustProduct(a, b)
+	var serial bytes.Buffer
+	if _, err := NewPlan(p, 1).WriteShard(0, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range []bool{false, true} {
+		dir := t.TempDir()
+		pl := NewPlan(p, 3)
+		m, err := WriteSharded(dir, pl, WriteOptions{Binary: bin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.TotalArcs != p.NumArcs() || back.Workers != pl.Workers() || len(back.Shards) != pl.Workers() {
+			t.Fatalf("manifest mismatch: %+v", back)
+		}
+		if back.FactorADigest != gio.GraphDigest(p.A) || back.FactorBDigest != gio.GraphDigest(p.B) {
+			t.Fatal("manifest factor digests differ")
+		}
+		if back.FactorADigest == back.FactorBDigest {
+			t.Fatal("distinct factors share a digest")
+		}
+		var concat []byte
+		for _, s := range m.Shards {
+			data, err := os.ReadFile(filepath.Join(dir, s.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			concat = append(concat, data...)
+		}
+		if bin {
+			arcs, err := ReadArcsBinary(bytes.NewReader(concat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(arcs)) != p.NumArcs() {
+				t.Fatalf("binary round trip: %d arcs, want %d", len(arcs), p.NumArcs())
+			}
+			i := 0
+			ok := true
+			p.EachArc(func(u, v int64) bool {
+				ok = arcs[i] == Arc{U: u, V: v}
+				i++
+				return ok
+			})
+			if !ok {
+				t.Fatal("binary shards out of order")
+			}
+		} else if !bytes.Equal(concat, serial.Bytes()) {
+			t.Fatal("concatenated text shards differ from serial stream")
+		}
+	}
+}
+
+// TestPlanHeavyRowImbalance exercises boundary rounding when one A row
+// holds most arcs (a star's hub): ranges must stay disjoint, cover all
+// arcs, and never be empty.
+func TestPlanHeavyRowImbalance(t *testing.T) {
+	a := gen.Star(50) // hub row carries 49 of 98 arcs
+	b := gen.HubCycle(4)
+	p := kron.MustProduct(a, b)
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		pl := NewPlan(p, workers)
+		var sum int64
+		prevHi := int32(0)
+		for w := 0; w < pl.Workers(); w++ {
+			lo, hi := pl.RowRange(w)
+			if lo < prevHi || hi <= lo {
+				t.Fatalf("workers=%d: bad range [%d,%d) after %d", workers, lo, hi, prevHi)
+			}
+			if pl.ShardSize(w) == 0 {
+				t.Fatalf("workers=%d: empty shard %d", workers, w)
+			}
+			prevHi = hi
+			sum += pl.ShardSize(w)
+		}
+		if sum != p.NumArcs() {
+			t.Fatalf("workers=%d: shards cover %d arcs, want %d", workers, sum, p.NumArcs())
+		}
+	}
+}
+
+// TestWriteShardedRemovesStaleShards reruns into the same directory with a
+// smaller worker count and a different format: files from the earlier run
+// must not survive, so shard globs always match the manifest.
+func TestWriteShardedRemovesStaleShards(t *testing.T) {
+	a := gen.WebGraph(40, 3, 0.6, 3)
+	p := kron.MustProduct(a, gen.HubCycle(5))
+	dir := t.TempDir()
+	if _, err := WriteSharded(dir, NewPlan(p, 4), WriteOptions{Binary: true}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := WriteSharded(dir, NewPlan(p, 2), WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m.Shards) {
+		t.Fatalf("%d shard files on disk, manifest lists %d: %v", len(got), len(m.Shards), got)
+	}
+	for _, path := range got {
+		if filepath.Ext(path) != ".tsv" {
+			t.Fatalf("stale file survived: %s", path)
+		}
 	}
 }

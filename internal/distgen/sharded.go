@@ -1,0 +1,176 @@
+package distgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"kronvalid/internal/gio"
+	"kronvalid/internal/stream"
+)
+
+// ManifestName is the filename of the shard manifest inside an output
+// directory.
+const ManifestName = "manifest.json"
+
+// ShardInfo records one shard file of a sharded generation run.
+type ShardInfo struct {
+	Index int    `json:"index"`
+	File  string `json:"file"`
+	Arcs  int64  `json:"arcs"`
+}
+
+// Manifest describes a sharded edge-list directory: which factors the
+// product was generated from (by structural digest), how it was
+// partitioned, and exactly what each shard file contains. Because
+// generation is deterministic, the manifest plus the factors fully
+// reproduce every byte of every shard — and concatenating the shard files
+// in index order reproduces the serial EachArc stream for any worker
+// count.
+type Manifest struct {
+	Format        string      `json:"format"` // "tsv" or "binary"
+	FactorADigest string      `json:"factor_a_digest"`
+	FactorBDigest string      `json:"factor_b_digest"`
+	Vertices      int64       `json:"vertices"`
+	TotalArcs     int64       `json:"total_arcs"`
+	Workers       int         `json:"workers"`
+	Shards        []ShardInfo `json:"shards"`
+}
+
+// WriteOptions configures WriteSharded.
+type WriteOptions struct {
+	// Binary selects the 16-byte little-endian arc format instead of TSV.
+	Binary bool
+	// Workers bounds how many shard files are written concurrently
+	// (0 = GOMAXPROCS). It does not affect the partition, which is fixed
+	// by the Plan.
+	Workers int
+	// BatchSize is the arcs-per-batch of the pipeline (0 = default).
+	BatchSize int
+}
+
+// closableSink pairs a stream sink with the file it writes so the driver
+// closes the file after the final flush.
+type closableSink struct {
+	stream.Sink
+	f *os.File
+}
+
+func (c closableSink) Close() error { return c.f.Close() }
+
+// ShardFileName returns the canonical shard file name for index w.
+func ShardFileName(w int, binary bool) string {
+	if binary {
+		return fmt.Sprintf("shard-%03d.bin", w)
+	}
+	return fmt.Sprintf("shard-%03d.tsv", w)
+}
+
+// WriteSharded writes every shard of the plan into dir (one file per
+// shard, written in parallel) plus a manifest.json, and returns the
+// manifest. Output is bitwise reproducible: the partition and each
+// shard's byte stream depend only on the factors and the plan's worker
+// count, never on scheduling.
+func WriteSharded(dir string, pl *Plan, opts WriteOptions) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Invalidate any previous run's manifest before touching shard files:
+	// if this run fails partway, a reader must find no manifest rather
+	// than a stale one describing bytes we may have overwritten.
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	counts, err := stream.RunPerShard(pl.workers, pl.EachShardBatch,
+		func(w int) (stream.Sink, error) {
+			f, ferr := os.Create(filepath.Join(dir, ShardFileName(w, opts.Binary)))
+			if ferr != nil {
+				return nil, ferr
+			}
+			var s stream.Sink
+			if opts.Binary {
+				s = gio.NewArcBinaryWriter(f)
+			} else {
+				s = gio.NewArcTextWriter(f)
+			}
+			return closableSink{Sink: s, f: f}, nil
+		},
+		stream.Options{Workers: opts.Workers, BatchSize: opts.BatchSize})
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		Format:        "tsv",
+		FactorADigest: gio.GraphDigest(pl.p.A),
+		FactorBDigest: gio.GraphDigest(pl.p.B),
+		Vertices:      pl.p.NumVertices(),
+		TotalArcs:     pl.TotalArcs(),
+		Workers:       pl.workers,
+	}
+	if opts.Binary {
+		m.Format = "binary"
+	}
+	for w, n := range counts {
+		if n != pl.ShardSize(w) {
+			return nil, fmt.Errorf("distgen: shard %d wrote %d arcs, plan says %d", w, n, pl.ShardSize(w))
+		}
+		m.Shards = append(m.Shards, ShardInfo{Index: w, File: ShardFileName(w, opts.Binary), Arcs: n})
+	}
+	// Remove canonical shard files left over from an earlier run with a
+	// different worker count or format, so `cat shard-*` over the
+	// directory always reproduces exactly this manifest's stream.
+	stale, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range stale {
+		name := filepath.Base(path)
+		live := false
+		for _, s := range m.Shards {
+			if name == s.File {
+				live = true
+				break
+			}
+		}
+		if !live {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadManifest parses the manifest.json inside a sharded output directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}
+
+// DecodeManifest parses a manifest from a reader.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,114 @@
+package gio
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"strconv"
+
+	"kronvalid/internal/graph"
+	"kronvalid/internal/stream"
+)
+
+// ArcTextWriter is a stream.Sink that serializes arc batches as "u\tv\n"
+// lines. Each batch is rendered with strconv.AppendInt into one reused
+// byte buffer and written with a single Write call — no per-arc Fprintf,
+// no per-arc syscalls. A write error stops the stream (Consume keeps
+// returning it) and is never masked by a later Flush.
+type ArcTextWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewArcTextWriter returns a text sink writing to w.
+func NewArcTextWriter(w io.Writer) *ArcTextWriter {
+	return &ArcTextWriter{w: w, buf: make([]byte, 0, 1<<16)}
+}
+
+// Consume renders and writes one batch.
+func (t *ArcTextWriter) Consume(batch []stream.Arc) error {
+	if t.err != nil {
+		return t.err
+	}
+	buf := t.buf[:0]
+	for _, a := range batch {
+		buf = strconv.AppendInt(buf, a.U, 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, a.V, 10)
+		buf = append(buf, '\n')
+	}
+	t.buf = buf[:0]
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush reports any earlier write error; all data is written eagerly.
+func (t *ArcTextWriter) Flush() error { return t.err }
+
+// ArcBinaryWriter is a stream.Sink that serializes arc batches as
+// little-endian (uint64, uint64) pairs, 16 bytes per arc — the compact
+// format large-scale harnesses ingest. One Write call per batch.
+type ArcBinaryWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewArcBinaryWriter returns a binary sink writing to w.
+func NewArcBinaryWriter(w io.Writer) *ArcBinaryWriter {
+	return &ArcBinaryWriter{w: w}
+}
+
+// Consume encodes and writes one batch.
+func (b *ArcBinaryWriter) Consume(batch []stream.Arc) error {
+	if b.err != nil {
+		return b.err
+	}
+	need := len(batch) * 16
+	if cap(b.buf) < need {
+		b.buf = make([]byte, need)
+	}
+	buf := b.buf[:need]
+	for i, a := range batch {
+		binary.LittleEndian.PutUint64(buf[i*16:], uint64(a.U))
+		binary.LittleEndian.PutUint64(buf[i*16+8:], uint64(a.V))
+	}
+	if _, err := b.w.Write(buf); err != nil {
+		b.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush reports any earlier write error; all data is written eagerly.
+func (b *ArcBinaryWriter) Flush() error { return b.err }
+
+// GraphDigest returns a short stable fingerprint of a factor graph's
+// structure (vertex count, adjacency, labels): FNV-1a over the canonical
+// arc stream, hex-encoded. Shard manifests record the factors' digests so
+// a reader can verify it regenerates from the same factors.
+func GraphDigest(g *graph.Graph) string {
+	h := fnv.New64a()
+	var scratch [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	put(uint64(g.NumVertices()))
+	put(uint64(g.NumArcs()))
+	g.EachArc(func(u, v int32) bool {
+		put(uint64(uint32(u))<<32 | uint64(uint32(v)))
+		return true
+	})
+	if g.IsLabeled() {
+		put(uint64(g.NumLabels()))
+		for _, l := range g.Labels() {
+			put(uint64(uint32(l)))
+		}
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

@@ -18,31 +18,42 @@ import (
 // edge appears in both orientations (matching adjacency storage); use
 // WriteEdgeListUndirected for one line per edge.
 func WriteEdgeList(w io.Writer, g *graph.Graph) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	var err error
-	g.EachArc(func(u, v int32) bool {
-		_, err = fmt.Fprintf(bw, "%d\t%d\n", u, v)
-		return err == nil
-	})
-	if err != nil {
-		return err
-	}
-	return bw.Flush()
+	return writePairs(w, g.EachArc)
 }
 
 // WriteEdgeListUndirected writes one "u\tv" line per undirected edge
 // (u <= v). Panics if g is not symmetric.
 func WriteEdgeListUndirected(w io.Writer, g *graph.Graph) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
+	return writePairs(w, g.EachEdgeUndirected)
+}
+
+// writePairs renders "u\tv\n" lines with strconv.AppendInt into a reused
+// buffer, flushing in 64 KiB chunks. Iteration stops on the first write
+// error, which is returned as-is: the final flush of buffered lines only
+// happens on the error-free path, so it can never mask a mid-stream error.
+func writePairs(w io.Writer, each func(fn func(u, v int32) bool)) error {
+	buf := make([]byte, 0, 1<<16)
 	var err error
-	g.EachEdgeUndirected(func(u, v int32) bool {
-		_, err = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+	each(func(u, v int32) bool {
+		buf = strconv.AppendInt(buf, int64(u), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, '\n')
+		if len(buf) >= 1<<16-64 {
+			_, err = w.Write(buf)
+			buf = buf[:0]
+		}
 		return err == nil
 	})
 	if err != nil {
 		return err
 	}
-	return bw.Flush()
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadEdgeList parses "u<sep>v" lines (tab or spaces), ignoring blank

@@ -2,11 +2,15 @@ package gio
 
 import (
 	"bytes"
-	"kronvalid/internal/graph"
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
 	"kronvalid/internal/gen"
+	"kronvalid/internal/graph"
+	"kronvalid/internal/stream"
 )
 
 func TestEdgeListRoundTrip(t *testing.T) {
@@ -152,5 +156,118 @@ func TestBinaryCompression(t *testing.T) {
 	if int64(buf.Len())*1000 > productArcs*10 {
 		t.Errorf("factor encoding %d bytes vs product ~%d bytes: compression claim fails",
 			buf.Len(), productArcs*10)
+	}
+}
+
+// failAfterWriter errors once n bytes have been accepted, recording how
+// many Write calls it saw.
+type failAfterWriter struct {
+	n      int
+	calls  int
+	failed bool
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.failed || f.n-len(p) < 0 {
+		f.failed = true
+		return 0, errFull
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errFull = errors.New("disk full")
+
+func TestWriteEdgeListStopsOnFirstError(t *testing.T) {
+	g := gen.WebGraph(2000, 3, 0.5, 2)
+	w := &failAfterWriter{n: 1 << 16} // accept one chunk, fail on the second
+	err := WriteEdgeList(w, g)
+	if !errors.Is(err, errFull) {
+		t.Fatalf("err = %v, want errFull", err)
+	}
+	callsAtFailure := w.calls
+	if callsAtFailure > 3 {
+		t.Fatalf("iteration continued after write error: %d write calls", w.calls)
+	}
+	w2 := &failAfterWriter{n: 0}
+	if err := WriteEdgeListUndirected(w2, g); !errors.Is(err, errFull) {
+		t.Fatalf("undirected err = %v, want errFull", err)
+	}
+}
+
+func TestArcTextWriterMatchesFprintf(t *testing.T) {
+	arcs := []stream.Arc{{U: 0, V: 1}, {U: 42, V: 7}, {U: 1 << 40, V: 3}, {U: -1, V: -9}}
+	var got bytes.Buffer
+	s := NewArcTextWriter(&got)
+	if err := s.Consume(arcs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Consume(arcs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, a := range arcs {
+		fmt.Fprintf(&want, "%d\t%d\n", a.U, a.V)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("text sink wrote %q, want %q", got.String(), want.String())
+	}
+}
+
+func TestArcWritersStickyError(t *testing.T) {
+	batch := make([]stream.Arc, 100)
+	for _, mk := range []func(w *failAfterWriter) stream.Sink{
+		func(w *failAfterWriter) stream.Sink { return NewArcTextWriter(w) },
+		func(w *failAfterWriter) stream.Sink { return NewArcBinaryWriter(w) },
+	} {
+		fw := &failAfterWriter{n: 0}
+		s := mk(fw)
+		if err := s.Consume(batch); !errors.Is(err, errFull) {
+			t.Fatalf("first consume: %v", err)
+		}
+		if err := s.Consume(batch); !errors.Is(err, errFull) {
+			t.Fatal("error not sticky")
+		}
+		if fw.calls != 1 {
+			t.Fatalf("writer called %d times after error", fw.calls)
+		}
+		if err := s.Flush(); !errors.Is(err, errFull) {
+			t.Fatal("flush masked the write error")
+		}
+	}
+}
+
+func TestArcBinaryWriterRoundTripBytes(t *testing.T) {
+	arcs := []stream.Arc{{U: 1, V: 2}, {U: 1 << 50, V: 77}}
+	var buf bytes.Buffer
+	s := NewArcBinaryWriter(&buf)
+	if err := s.Consume(arcs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(arcs)*16 {
+		t.Fatalf("wrote %d bytes, want %d", buf.Len(), len(arcs)*16)
+	}
+	if got := binary.LittleEndian.Uint64(buf.Bytes()[16:24]); got != 1<<50 {
+		t.Fatalf("second arc U = %d", got)
+	}
+}
+
+func TestGraphDigestDistinguishesStructure(t *testing.T) {
+	g1 := gen.WebGraph(64, 3, 0.5, 1)
+	g2 := gen.WebGraph(64, 3, 0.5, 2)
+	if GraphDigest(g1) != GraphDigest(g1) {
+		t.Fatal("digest not deterministic")
+	}
+	if GraphDigest(g1) == GraphDigest(g2) {
+		t.Fatal("different graphs share a digest")
+	}
+	labels := make([]int32, g1.NumVertices())
+	labels[3] = 1
+	if GraphDigest(g1) == GraphDigest(g1.WithLabels(labels, 2)) {
+		t.Fatal("labeling did not change the digest")
 	}
 }

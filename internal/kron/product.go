@@ -14,6 +14,7 @@ import (
 
 	"kronvalid/internal/graph"
 	"kronvalid/internal/sparse"
+	"kronvalid/internal/stream"
 )
 
 // ErrTooLarge is returned when a materialization request exceeds the
@@ -153,13 +154,21 @@ func (p *Product) Neighbors(v int64) []int64 {
 	return out
 }
 
-// EachArc streams every arc (u, v) of C in lexicographic order: the full
-// |arcs(A)|·|arcs(B)| edge list of the product, generated from the factors
-// without materializing anything. Stops early if fn returns false.
-func (p *Product) EachArc(fn func(u, v int64) bool) {
-	nA := p.A.NumVertices()
-	for i := 0; i < nA; i++ {
-		nbA := p.A.Neighbors(int32(i))
+// EachArcBatchRange streams the product arcs whose A-side source row lies
+// in [loA, hiA), in canonical EachArc order, delivered as batches: the
+// generator appends into buf and hands every full batch — plus the final
+// partial one — to emit. emit takes ownership of the slice it receives and
+// returns the next buffer to fill (len 0, its cap sets the batch size), or
+// nil to stop early. This is the hot path of the generation pipeline: the
+// inner loops write straight into a flat buffer with no per-arc callback.
+func (p *Product) EachArcBatchRange(loA, hiA int32, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc)) {
+	if cap(buf) == 0 {
+		buf = make([]stream.Arc, 0, stream.DefaultBatchSize)
+	}
+	buf = buf[:0]
+	limit := cap(buf)
+	for i := loA; i < hiA; i++ {
+		nbA := p.A.Neighbors(i)
 		if len(nbA) == 0 {
 			continue
 		}
@@ -172,13 +181,55 @@ func (p *Product) EachArc(fn func(u, v int64) bool) {
 			for _, j := range nbA {
 				base := int64(j) * p.nB
 				for _, l := range nbB {
-					if !fn(u, base+int64(l)) {
-						return
+					buf = append(buf, stream.Arc{U: u, V: base + int64(l)})
+					if len(buf) == limit {
+						if buf = emit(buf); buf == nil {
+							return
+						}
+						buf = buf[:0]
+						limit = cap(buf)
 					}
 				}
 			}
 		}
 	}
+	if len(buf) > 0 {
+		emit(buf)
+	}
+}
+
+// EachArcBatch streams every arc of C as batches of at most batchSize arcs
+// (0 means stream.DefaultBatchSize), in EachArc order. The batch slice is
+// reused between calls: fn must not retain it. Stops early if fn returns
+// false.
+func (p *Product) EachArcBatch(batchSize int, fn func(batch []stream.Arc) bool) {
+	if batchSize <= 0 {
+		batchSize = stream.DefaultBatchSize
+	}
+	buf := make([]stream.Arc, 0, batchSize)
+	p.EachArcBatchRange(0, int32(p.A.NumVertices()), buf, func(full []stream.Arc) []stream.Arc {
+		if !fn(full) {
+			return nil
+		}
+		return full[:0]
+	})
+}
+
+// EachArc streams every arc (u, v) of C in lexicographic order: the full
+// |arcs(A)|·|arcs(B)| edge list of the product, generated from the factors
+// without materializing anything. Stops early if fn returns false.
+//
+// This is a compatibility adapter over the batched generator; code that
+// cares about throughput should consume EachArcBatch directly.
+func (p *Product) EachArc(fn func(u, v int64) bool) {
+	p.EachArcBatch(0, func(batch []stream.Arc) bool {
+		for _, a := range batch {
+			if !fn(a.U, a.V) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // Materialize builds the explicit product graph, refusing if the product
@@ -192,8 +243,10 @@ func (p *Product) Materialize(maxVertices, maxArcs int64) (*graph.Graph, error) 
 		return nil, fmt.Errorf("%w: %d vertices exceed explicit-graph limit", ErrTooLarge, p.NumVertices())
 	}
 	edges := make([]graph.Edge, 0, p.NumArcs())
-	p.EachArc(func(u, v int64) bool {
-		edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+	p.EachArcBatch(0, func(batch []stream.Arc) bool {
+		for _, a := range batch {
+			edges = append(edges, graph.Edge{U: int32(a.U), V: int32(a.V)})
+		}
 		return true
 	})
 	c := graph.FromEdges(int(p.NumVertices()), edges, false)

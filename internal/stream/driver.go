@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"kronvalid/internal/par"
+)
+
+// Run drives a sharded generator into a single sink. Shards are generated
+// concurrently (up to opts.Workers at a time, claimed in index order) but
+// their batches are delivered to the sink strictly in shard order
+// 0, 1, …, shards-1 — so the byte stream a sink observes is identical for
+// every worker count, the property that makes sharded generation
+// verifiable against the serial stream. Returns the number of arcs
+// consumed and the first sink error (generation stops early on error).
+func Run(shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
+	o := opts.withDefaults()
+	if o.Workers <= 0 {
+		o.Workers = par.MaxWorkers()
+	}
+	if shards <= 0 {
+		return 0, sink.Flush()
+	}
+	if o.Workers == 1 || shards == 1 {
+		return runSerial(shards, gen, sink, o)
+	}
+
+	chans := make([]chan []Arc, shards)
+	for i := range chans {
+		chans[i] = make(chan []Arc, o.Buffer)
+	}
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	pool := sync.Pool{New: func() any {
+		s := make([]Arc, 0, o.BatchSize)
+		return &s
+	}}
+	getBuf := func() []Arc { return (*pool.Get().(*[]Arc))[:0] }
+	putBuf := func(b []Arc) { pool.Put(&b) }
+
+	var next atomic.Int64
+	workers := o.Workers
+	if workers > shards {
+		workers = shards
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := int(next.Add(1) - 1)
+				if w >= shards {
+					return
+				}
+				gen(w, getBuf(), func(full []Arc) []Arc {
+					select {
+					case chans[w] <- full:
+						return getBuf()
+					case <-stop:
+						return nil
+					}
+				})
+				close(chans[w])
+			}
+		}()
+	}
+
+	var n int64
+	var err error
+	for w := 0; w < shards; w++ {
+		if int64(w) >= next.Load() && err != nil {
+			break // shard never claimed: producers have shut down
+		}
+		for batch := range chans[w] {
+			if err != nil {
+				putBuf(batch)
+				continue // drain so blocked producers can exit
+			}
+			if cerr := sink.Consume(batch); cerr != nil {
+				err = cerr
+				stopOnce.Do(func() { close(stop) })
+			} else {
+				n += int64(len(batch))
+			}
+			putBuf(batch)
+		}
+	}
+	stopOnce.Do(func() { close(stop) })
+	wg.Wait()
+	if ferr := sink.Flush(); err == nil {
+		err = ferr
+	}
+	return n, err
+}
+
+func runSerial(shards int, gen ShardGen, sink Sink, o Options) (int64, error) {
+	buf := make([]Arc, 0, o.BatchSize)
+	var n int64
+	var err error
+	for w := 0; w < shards && err == nil; w++ {
+		gen(w, buf, func(full []Arc) []Arc {
+			if cerr := sink.Consume(full); cerr != nil {
+				err = cerr
+				return nil
+			}
+			n += int64(len(full))
+			return full[:0]
+		})
+	}
+	if ferr := sink.Flush(); err == nil {
+		err = ferr
+	}
+	return n, err
+}
+
+// RunPerShard drives a sharded generator with one sink per shard, shards
+// running fully in parallel (no cross-shard ordering is needed because
+// each shard owns its own output). sinkFor(w) is called from the worker
+// goroutine that generates shard w; if the returned sink also implements
+// io.Closer it is closed after Flush. Returns per-shard arc counts and the
+// first error encountered (other shards still run to completion).
+func RunPerShard(shards int, gen ShardGen, sinkFor func(w int) (Sink, error), opts Options) ([]int64, error) {
+	o := opts.withDefaults()
+	if o.Workers <= 0 {
+		o.Workers = par.MaxWorkers()
+	}
+	counts := make([]int64, shards)
+	errs := make([]error, shards)
+	sem := make(chan struct{}, o.Workers)
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for w := 0; w < shards; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sink, err := sinkFor(w)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			buf := make([]Arc, 0, o.BatchSize)
+			gen(w, buf, func(full []Arc) []Arc {
+				if cerr := sink.Consume(full); cerr != nil {
+					err = cerr
+					return nil
+				}
+				counts[w] += int64(len(full))
+				return full[:0]
+			})
+			if ferr := sink.Flush(); err == nil {
+				err = ferr
+			}
+			if c, ok := sink.(io.Closer); ok {
+				if cerr := c.Close(); err == nil {
+					err = cerr
+				}
+			}
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return counts, err
+		}
+	}
+	return counts, nil
+}

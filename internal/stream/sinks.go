@@ -1,0 +1,127 @@
+package stream
+
+import "fmt"
+
+// CountSink counts arcs. The zero value is ready to use.
+type CountSink struct {
+	N int64
+}
+
+// Consume adds the batch to the running count.
+func (c *CountSink) Consume(batch []Arc) error {
+	c.N += int64(len(batch))
+	return nil
+}
+
+// Flush is a no-op.
+func (c *CountSink) Flush() error { return nil }
+
+// FuncSink adapts a plain function to a Sink with a no-op Flush.
+type FuncSink func(batch []Arc) error
+
+// Consume invokes the wrapped function.
+func (f FuncSink) Consume(batch []Arc) error { return f(batch) }
+
+// Flush is a no-op.
+func (f FuncSink) Flush() error { return nil }
+
+// MultiSink fans every batch out to several sinks in order, so one
+// generation pass can simultaneously write, count, and check. The first
+// Consume error stops the stream; Flush flushes every sink and returns the
+// first error.
+type MultiSink []Sink
+
+// Consume delivers the batch to each sink in order.
+func (m MultiSink) Consume(batch []Arc) error {
+	for _, s := range m {
+		if err := s.Consume(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes every sink, returning the first error.
+func (m MultiSink) Flush() error {
+	var first error
+	for _, s := range m {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DedupCheckSink verifies that the stream is strictly increasing in
+// lexicographic (U, V) order — the canonical EachArc order — which implies
+// the stream is duplicate-free. It errors on the first violation.
+type DedupCheckSink struct {
+	prev    Arc
+	started bool
+}
+
+// Consume checks each arc against its predecessor.
+func (d *DedupCheckSink) Consume(batch []Arc) error {
+	for _, a := range batch {
+		if d.started {
+			if a.U < d.prev.U || (a.U == d.prev.U && a.V <= d.prev.V) {
+				return fmt.Errorf("stream: order violation: (%d,%d) after (%d,%d)",
+					a.U, a.V, d.prev.U, d.prev.V)
+			}
+		}
+		d.prev = a
+		d.started = true
+	}
+	return nil
+}
+
+// Flush is a no-op.
+func (d *DedupCheckSink) Flush() error { return nil }
+
+// DegreeHistogramSink accumulates the out-degree histogram of the stream's
+// source vertices. It relies on the canonical stream order, in which all
+// arcs out of a vertex are consecutive: a run of equal U values of length
+// d contributes one vertex of out-degree d. Vertices with no out-arcs do
+// not appear in the stream and therefore not in the histogram.
+type DegreeHistogramSink struct {
+	// Counts maps out-degree to the number of source vertices with that
+	// out-degree. Populated incrementally; complete after Flush.
+	Counts map[int64]int64
+
+	cur     int64 // current source vertex
+	run     int64 // arcs seen for cur
+	started bool
+}
+
+// Consume extends the current run or closes it and starts a new one.
+func (h *DegreeHistogramSink) Consume(batch []Arc) error {
+	if h.Counts == nil {
+		h.Counts = make(map[int64]int64)
+	}
+	for _, a := range batch {
+		if h.started && a.U == h.cur {
+			h.run++
+			continue
+		}
+		if h.started {
+			h.Counts[h.run]++
+		}
+		h.cur = a.U
+		h.run = 1
+		h.started = true
+	}
+	return nil
+}
+
+// Flush closes the final run.
+func (h *DegreeHistogramSink) Flush() error {
+	if h.started {
+		if h.Counts == nil {
+			h.Counts = make(map[int64]int64)
+		}
+		h.Counts[h.run]++
+		h.started = false
+		h.run = 0
+	}
+	return nil
+}

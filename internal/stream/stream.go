@@ -1,0 +1,64 @@
+// Package stream defines the batched edge-streaming primitives shared by
+// the generation pipeline: kron produces Arc batches, distgen partitions
+// them into communication-free shards, gio serializes them, and the driver
+// in this package fans shards out across workers while keeping the output
+// order deterministic and independent of the worker count.
+//
+// The unit of work is a batch — a reused []Arc of a few thousand arcs —
+// instead of a per-arc closure call. Batching amortizes callback and
+// channel overhead to ~1/|batch| per arc, which is what makes the
+// "as fast as the hardware allows" generation path possible: the inner
+// loops of the generator append into a flat buffer and the consumers
+// (counting, writing, checking) iterate flat buffers.
+package stream
+
+// Arc is one directed product edge (u, v). The memory layout is two
+// int64s, so a batch is a flat 16·len buffer that serializers can walk
+// without per-arc indirection.
+type Arc struct {
+	U, V int64
+}
+
+// DefaultBatchSize is the number of arcs per batch when Options does not
+// override it. 4096 arcs = 64 KiB per batch: large enough to amortize
+// callback/channel overhead, small enough to stay cache- and pool-friendly.
+const DefaultBatchSize = 4096
+
+// Sink consumes a stream of arc batches. Consume may retain nothing: the
+// batch slice is recycled by the driver as soon as Consume returns. A sink
+// that returns an error stops the stream; Flush is still called exactly
+// once at the end of the stream (error or not) so buffered output and
+// final checks are reported consistently.
+type Sink interface {
+	Consume(batch []Arc) error
+	Flush() error
+}
+
+// ShardGen generates shard w of a partitioned arc stream in that shard's
+// deterministic order. The generator fills buf (len 0, fixed capacity) and
+// hands every full batch — and the final partial one — to emit; emit takes
+// ownership of the slice and returns the next buffer to fill, or nil to
+// stop generation early.
+type ShardGen func(w int, buf []Arc, emit func(full []Arc) (next []Arc))
+
+// Options configures the parallel driver.
+type Options struct {
+	// Workers bounds the number of concurrently generating shards.
+	// 0 means par.MaxWorkers() (GOMAXPROCS).
+	Workers int
+	// BatchSize is the number of arcs per batch; 0 means DefaultBatchSize.
+	BatchSize int
+	// Buffer is the number of batches each in-flight shard may queue ahead
+	// of the consumer; 0 means 4.
+	Buffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 4
+	}
+	return o
+}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// synthGen builds a ShardGen in which shard w deterministically emits arcs
+// (w*perShard+i, i) for i in [0, perShard).
+func synthGen(perShard int) ShardGen {
+	return func(w int, buf []Arc, emit func([]Arc) []Arc) {
+		for i := 0; i < perShard; i++ {
+			buf = append(buf, Arc{U: int64(w*perShard + i), V: int64(i)})
+			if len(buf) == cap(buf) {
+				if buf = emit(buf); buf == nil {
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			emit(buf)
+		}
+	}
+}
+
+// collectSink records every arc it sees.
+type collectSink struct {
+	arcs    []Arc
+	flushed int
+}
+
+func (c *collectSink) Consume(batch []Arc) error {
+	c.arcs = append(c.arcs, batch...)
+	return nil
+}
+func (c *collectSink) Flush() error { c.flushed++; return nil }
+
+func TestRunPreservesShardOrder(t *testing.T) {
+	const shards, perShard = 7, 1000
+	for _, workers := range []int{1, 2, 3, 8} {
+		var got collectSink
+		n, err := Run(shards, synthGen(perShard), &got,
+			Options{Workers: workers, BatchSize: 64, Buffer: 2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != shards*perShard {
+			t.Fatalf("workers=%d: n=%d want %d", workers, n, shards*perShard)
+		}
+		if got.flushed != 1 {
+			t.Fatalf("workers=%d: flushed %d times", workers, got.flushed)
+		}
+		for i, a := range got.arcs {
+			if a.U != int64(i) {
+				t.Fatalf("workers=%d: arc %d has U=%d — order not preserved", workers, i, a.U)
+			}
+		}
+	}
+}
+
+func TestRunSinkErrorStopsStream(t *testing.T) {
+	boom := errors.New("boom")
+	var seen int64
+	sink := FuncSink(func(batch []Arc) error {
+		seen += int64(len(batch))
+		if seen >= 200 {
+			return boom
+		}
+		return nil
+	})
+	n, err := Run(16, synthGen(10000), sink, Options{Workers: 4, BatchSize: 64})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n >= 16*10000 {
+		t.Fatalf("stream did not stop early: n=%d", n)
+	}
+}
+
+func TestRunPerShardCountsAndErrors(t *testing.T) {
+	sinks := make([]*collectSink, 5)
+	counts, err := RunPerShard(5, synthGen(777),
+		func(w int) (Sink, error) {
+			sinks[w] = &collectSink{}
+			return sinks[w], nil
+		}, Options{Workers: 3, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, c := range counts {
+		if c != 777 || len(sinks[w].arcs) != 777 {
+			t.Fatalf("shard %d: count %d, collected %d", w, c, len(sinks[w].arcs))
+		}
+		if sinks[w].arcs[0].U != int64(w*777) {
+			t.Fatalf("shard %d got wrong arcs", w)
+		}
+	}
+	wantErr := errors.New("no sink")
+	if _, err := RunPerShard(3, synthGen(10), func(w int) (Sink, error) {
+		if w == 1 {
+			return nil, wantErr
+		}
+		return &collectSink{}, nil
+	}, Options{}); !errors.Is(err, wantErr) {
+		t.Fatalf("sink creation error not reported: %v", err)
+	}
+}
+
+func TestRunZeroShards(t *testing.T) {
+	var got collectSink
+	n, err := Run(0, synthGen(10), &got, Options{})
+	if err != nil || n != 0 || got.flushed != 1 {
+		t.Fatalf("n=%d err=%v flushed=%d", n, err, got.flushed)
+	}
+}
+
+func TestCountAndMultiSink(t *testing.T) {
+	var count CountSink
+	var check DedupCheckSink
+	sink := MultiSink{&count, &check}
+	n, err := Run(3, synthGen(100), sink, Options{Workers: 2, BatchSize: 16})
+	if err != nil || n != 300 || count.N != 300 {
+		t.Fatalf("n=%d count=%d err=%v", n, count.N, err)
+	}
+}
+
+func TestDedupCheckSinkDetectsDisorder(t *testing.T) {
+	var d DedupCheckSink
+	if err := d.Consume([]Arc{{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 0}}); err != nil {
+		t.Fatalf("ordered stream rejected: %v", err)
+	}
+	if err := d.Consume([]Arc{{U: 2, V: 0}}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	var d2 DedupCheckSink
+	if err := d2.Consume([]Arc{{U: 5, V: 0}, {U: 4, V: 9}}); err == nil {
+		t.Fatal("descending U accepted")
+	}
+}
+
+func TestDegreeHistogramSink(t *testing.T) {
+	var h DegreeHistogramSink
+	// Vertex 0: degree 3, vertex 1: degree 1, vertex 7: degree 2 —
+	// delivered across two batches to exercise run continuation.
+	if err := h.Consume([]Arc{{U: 0, V: 1}, {U: 0, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Consume([]Arc{{U: 0, V: 3}, {U: 1, V: 0}, {U: 7, V: 0}, {U: 7, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int64{3: 1, 1: 1, 2: 1}
+	if fmt.Sprint(h.Counts) != fmt.Sprint(want) {
+		t.Fatalf("histogram = %v, want %v", h.Counts, want)
+	}
+}
