@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"kronvalid/internal/census"
+	"kronvalid/internal/csr"
 	"kronvalid/internal/distgen"
 	"kronvalid/internal/gen"
 	"kronvalid/internal/gio"
@@ -361,6 +362,14 @@ func NewEdgeListSink(w io.Writer) ArcSink { return gio.NewArcTextWriter(w) }
 // (uint64, uint64) pairs, 16 bytes per arc.
 func NewBinaryArcSink(w io.Writer) ArcSink { return gio.NewArcBinaryWriter(w) }
 
+// ReadTextArcs parses an arc stream written by an edge-list sink back
+// into arcs (comments and blank lines skipped).
+func ReadTextArcs(r io.Reader) ([]Arc, error) { return gio.ReadArcsText(r) }
+
+// ReadBinaryArcs parses an arc stream written by a binary arc sink. A
+// trailing partial record is a truncation error, never a short list.
+func ReadBinaryArcs(r io.Reader) ([]Arc, error) { return gio.ReadArcsBinary(r) }
+
 // StreamEdges streams every arc of C = A ⊗ B into sink through the
 // parallel batched pipeline: the product is partitioned into
 // communication-free shards (opts.Workers of them; 0 = GOMAXPROCS) that
@@ -388,6 +397,64 @@ func WriteSharded(dir string, p *Product, workers int, opts WriteShardedOptions)
 
 // ReadShardManifest parses the manifest.json of a WriteSharded directory.
 func ReadShardManifest(dir string) (*ShardManifest, error) { return distgen.ReadManifest(dir) }
+
+// ---- CSR ingestion (the consumption side of the pipeline) ----
+
+// CSRGraph is a materialized product adjacency in compressed-sparse-row
+// form over int64 product vertex ids: sorted, duplicate-free neighbor
+// slices in one flat backing array. It supports O(log d) arc probes,
+// O(1) degree reads, parallel transpose/in-degree construction, and
+// streaming back out as canonical Arc batches.
+type CSRGraph = csr.Graph
+
+// CSRSink accumulates one canonical-order arc stream into a CSRGraph in
+// a single pass (no sort — canonical order assembles by appending). Use
+// it to ingest non-replayable streams such as files or pipes; for
+// products themselves BuildCSR is faster.
+type CSRSink = csr.Sink
+
+// NewCSRSink returns a one-pass CSR accumulator for vertex ids in
+// [0, numVertices); arcsHint pre-sizes the arc array (0 if unknown).
+// After the stream flushes, call Graph() for the result.
+func NewCSRSink(numVertices, arcsHint int64) *CSRSink { return csr.NewSink(numVertices, arcsHint) }
+
+// BuildCSR materializes the adjacency of C = A ⊗ B as a CSRGraph using
+// the parallel two-pass builder: a counting pass over the regenerated
+// communication-free shards, a prefix sum, and a parallel scatter
+// straight into the final arc array. Shards own disjoint source-vertex
+// blocks, so both passes are race- and lock-free, and the result is
+// identical for every worker count (opts.Workers; 0 = GOMAXPROCS).
+func BuildCSR(p *Product, opts StreamOptions) (*CSRGraph, error) {
+	return distgen.NewPlan(p, opts.Workers).BuildCSR(opts)
+}
+
+// StreamToCSR materializes C = A ⊗ B by driving the ordered parallel
+// pipeline into a one-pass CSR accumulator: shards generate concurrently
+// while the accumulator consumes in canonical order. One generation pass
+// instead of BuildCSR's two, but a serial consumption side — prefer
+// BuildCSR when the product is replayable (it always is) and cores are
+// plentiful.
+func StreamToCSR(p *Product, opts StreamOptions) (*CSRGraph, error) {
+	sink := csr.NewSink(p.NumVertices(), p.NumArcs())
+	if _, err := StreamEdges(p, opts, sink); err != nil {
+		return nil, err
+	}
+	return sink.Graph()
+}
+
+// WriteCSR serializes a CSRGraph in the one-block binary format
+// (KRONCSR1): header, offsets, then the flat arc array.
+func WriteCSR(w io.Writer, g *CSRGraph) error { return gio.WriteCSR(w, g) }
+
+// ReadCSR deserializes a CSRGraph written by WriteCSR, rejecting
+// truncated or structurally corrupt input.
+func ReadCSR(r io.Reader) (*CSRGraph, error) { return gio.ReadCSR(r) }
+
+// CSRDigest fingerprints a CSRGraph with the same FNV-1a scheme as
+// GraphDigest over factor graphs, so the two agree on any unlabeled
+// graph representable both ways. Digest equality across worker counts is
+// the machine-checked determinism invariant of the ingestion pipeline.
+func CSRDigest(g *CSRGraph) string { return gio.CSRDigest(g) }
 
 // ---- I/O ----
 

@@ -1,0 +1,225 @@
+// Benchdiff gates benchmark regressions in CI: it parses `go test
+// -bench` output, compares throughput against a committed JSON baseline,
+// and exits nonzero when any gated benchmark regressed beyond the
+// allowed fraction.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'StreamEdges|CSRBuild' ./... | tee bench.txt
+//	benchdiff -baseline BENCH_baseline.json bench.txt            # gate
+//	benchdiff -baseline BENCH_baseline.json -update bench.txt    # refresh
+//
+// Comparison uses MB/s when both sides report it (higher is better) and
+// falls back to ns/op (lower is better). Benchmarks present in the
+// baseline but missing from the new output fail the gate — a silently
+// skipped benchmark must not read as a pass; restrict the gate with
+// -filter instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+	update := flag.Bool("update", false, "rewrite the baseline from the bench output instead of gating")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
+	filter := flag.String("filter", "", "regexp restricting which baseline benchmarks are gated (default: all)")
+	note := flag.String("note", "", "note stored in the baseline on -update")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := ParseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: results}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(results), *baselinePath)
+		return
+	}
+
+	f, err := os.Open(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var base Baseline
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		log.Fatalf("parsing %s: %v", *baselinePath, err)
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		re, err = regexp.Compile(*filter)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	report, failed := Compare(base.Benchmarks, results, *maxRegress, re)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchLine matches `BenchmarkName[-procs]   N   <value> <unit> ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+\d+\s+(.*)$`)
+
+// ParseBench extracts per-benchmark ns/op and MB/s from `go test -bench`
+// output. The trailing GOMAXPROCS suffix (-8) is stripped so results
+// compare across machines; if a benchmark appears several times (e.g.
+// -count > 1) the best throughput wins, damping scheduler noise.
+func ParseBench(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		res, ok := out[name]
+		cur := Result{}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q for %s", fields[i], name)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				cur.NsPerOp = v
+			case "MB/s":
+				cur.MBPerS = v
+			}
+		}
+		if cur.NsPerOp == 0 {
+			continue // not a timing line
+		}
+		if !ok || better(cur, res) {
+			out[name] = cur
+		}
+	}
+	return out, sc.Err()
+}
+
+// better reports whether a beats b on throughput.
+func better(a, b Result) bool {
+	if a.MBPerS > 0 && b.MBPerS > 0 {
+		return a.MBPerS > b.MBPerS
+	}
+	return a.NsPerOp < b.NsPerOp
+}
+
+// stripProcs removes the trailing -<GOMAXPROCS> suffix go test appends.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Ratio returns new/old throughput (>1 is faster) using MB/s when both
+// sides have it, else inverse ns/op.
+func Ratio(old, new Result) float64 {
+	if old.MBPerS > 0 && new.MBPerS > 0 {
+		return new.MBPerS / old.MBPerS
+	}
+	if new.NsPerOp == 0 {
+		return 0
+	}
+	return old.NsPerOp / new.NsPerOp
+}
+
+// Compare gates new results against the baseline, returning a
+// human-readable report and whether the gate failed.
+func Compare(base, results map[string]Result, maxRegress float64, filter *regexp.Regexp) (string, bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if filter == nil || filter.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	failed := false
+	if len(names) == 0 {
+		sb.WriteString("benchdiff: no baseline benchmarks match the filter\n")
+		return sb.String(), true
+	}
+	fmt.Fprintf(&sb, "%-55s %14s %14s %8s\n", "benchmark", "baseline", "current", "ratio")
+	for _, name := range names {
+		old := base[name]
+		cur, ok := results[name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-55s %14s %14s %8s  FAIL (missing from bench output)\n",
+				name, format(old), "-", "-")
+			failed = true
+			continue
+		}
+		ratio := Ratio(old, cur)
+		verdict := "ok"
+		if ratio < 1-maxRegress {
+			verdict = fmt.Sprintf("FAIL (>%.0f%% regression)", maxRegress*100)
+			failed = true
+		}
+		fmt.Fprintf(&sb, "%-55s %14s %14s %7.2fx  %s\n", name, format(old), format(cur), ratio, verdict)
+	}
+	return sb.String(), failed
+}
+
+// format renders a result compactly, preferring throughput.
+func format(r Result) string {
+	if r.MBPerS > 0 {
+		return fmt.Sprintf("%.1f MB/s", r.MBPerS)
+	}
+	return fmt.Sprintf("%.0f ns/op", r.NsPerOp)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: kronvalid
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkStreamEdges/batched-8         	      39	  28431364 ns/op	13274.45 MB/s	  23588640 arcs/op
+BenchmarkStreamEdges/parallel-8        	      10	 120000000 ns/op	 3000.00 MB/s
+BenchmarkCSRBuild/two-pass-parallel-8  	       3	 420000000 ns/op	  898.68 MB/s	  23588640 arcs/op
+BenchmarkVertexStatLookup-8            	96359066	        12.47 ns/op
+PASS
+ok  	kronvalid	10.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	b, ok := got["BenchmarkStreamEdges/batched"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if b.NsPerOp != 28431364 || b.MBPerS != 13274.45 {
+		t.Fatalf("batched = %+v", b)
+	}
+	if l := got["BenchmarkVertexStatLookup"]; l.NsPerOp != 12.47 || l.MBPerS != 0 {
+		t.Fatalf("lookup = %+v", l)
+	}
+}
+
+func TestParseBenchKeepsBestOfRepeats(t *testing.T) {
+	in := `BenchmarkX-8   10   200 ns/op
+BenchmarkX-8   10   100 ns/op
+BenchmarkX-8   10   300 ns/op
+`
+	got, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 100 {
+		t.Fatalf("want best of repeats, got %+v", got["BenchmarkX"])
+	}
+}
+
+func TestRatioPrefersThroughput(t *testing.T) {
+	old := Result{NsPerOp: 100, MBPerS: 50}
+	cur := Result{NsPerOp: 300, MBPerS: 60} // MB/s says faster, ns/op slower
+	if r := Ratio(old, cur); r != 1.2 {
+		t.Fatalf("ratio = %v, want 1.2 (MB/s preferred)", r)
+	}
+	if r := Ratio(Result{NsPerOp: 100}, Result{NsPerOp: 50}); r != 2 {
+		t.Fatalf("ns/op ratio = %v, want 2", r)
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100}}
+	cur := map[string]Result{"BenchmarkA": {NsPerOp: 120, MBPerS: 85}}
+	report, failed := Compare(base, cur, 0.20, nil)
+	if failed {
+		t.Fatalf("15%% regression failed a 20%% gate:\n%s", report)
+	}
+}
+
+func TestCompareFailsBeyondThreshold(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100}}
+	cur := map[string]Result{"BenchmarkA": {NsPerOp: 200, MBPerS: 50}}
+	report, failed := Compare(base, cur, 0.20, nil)
+	if !failed {
+		t.Fatalf("50%% regression passed a 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report does not flag the failure:\n%s", report)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100}, "BenchmarkB": {NsPerOp: 100}}
+	cur := map[string]Result{"BenchmarkA": {NsPerOp: 100}}
+	if _, failed := Compare(base, cur, 0.20, nil); !failed {
+		t.Fatal("missing benchmark passed the gate")
+	}
+}
+
+func TestCompareFilter(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkGated":   {NsPerOp: 100},
+		"BenchmarkIgnored": {NsPerOp: 100},
+	}
+	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 90}}
+	if report, failed := Compare(base, cur, 0.20, regexp.MustCompile("Gated")); failed {
+		t.Fatalf("filtered compare failed:\n%s", report)
+	}
+	if _, failed := Compare(base, cur, 0.20, regexp.MustCompile("NothingMatches")); !failed {
+		t.Fatal("empty gate set must fail, not silently pass")
+	}
+}

@@ -38,6 +38,11 @@
 //	// Or shard them to disk with a reproducibility manifest:
 //	kronvalid.WriteSharded("out/", p, 16, kronvalid.WriteShardedOptions{})
 //
+//	// Or materialize a validation-scale product as CSR adjacency via the
+//	// parallel two-pass builder (digest-identical for any worker count):
+//	small := kronvalid.MustProduct(kronvalid.WebGraph(1<<12, 3, 0.7, 42), kronvalid.Clique(16))
+//	g, _ := kronvalid.BuildCSR(small, kronvalid.StreamOptions{})
+//
 // See README.md for a package map, the examples directory for runnable
 // programs, and DESIGN.md / EXPERIMENTS.md for the paper-reproduction
 // index and recorded results.

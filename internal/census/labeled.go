@@ -174,17 +174,17 @@ func LabeledEdgeCensusEnum(g *graph.Graph) map[LabelEdgeType]*sparse.Matrix {
 	}
 	work := g.WithoutLoops()
 	n := work.NumVertices()
-	counts := map[LabelEdgeType]map[[2]int32]int64{}
+	counts := map[LabelEdgeType]*arcCounts{}
 	record := func(i, j, w int32) {
 		// Arc (i,j): Q2 = f(i) (row end), Q1 = f(j) (column end),
 		// Q3 = f(w).
 		t := LabelEdgeType{Q1: g.Label(j), Q2: g.Label(i), Q3: g.Label(w)}
-		m := counts[t]
-		if m == nil {
-			m = map[[2]int32]int64{}
-			counts[t] = m
+		c := counts[t]
+		if c == nil {
+			c = newArcCounts(work)
+			counts[t] = c
 		}
-		m[[2]int32{i, j}]++
+		c.inc(i, j)
 	}
 	triangle.EachTriangle(work, func(u, v, w int32) {
 		record(u, v, w)
@@ -196,11 +196,11 @@ func LabeledEdgeCensusEnum(g *graph.Graph) map[LabelEdgeType]*sparse.Matrix {
 	})
 	out := map[LabelEdgeType]*sparse.Matrix{}
 	for _, t := range AllLabelEdgeTypes(g.NumLabels()) {
-		var ts []sparse.Triplet
-		for k, v := range counts[t] {
-			ts = append(ts, sparse.Triplet{Row: int(k[0]), Col: int(k[1]), Val: v})
+		if c := counts[t]; c != nil {
+			out[t] = c.matrix()
+		} else {
+			out[t] = sparse.FromTriplets(n, n, nil)
 		}
-		out[t] = sparse.FromTriplets(n, n, ts)
 	}
 	return out
 }

@@ -1,0 +1,251 @@
+// Package csr is the compact in-memory representation of a *materialized*
+// product edge stream: compressed sparse rows over int64 product vertex
+// ids, built directly from the batched generation pipeline without ever
+// holding an intermediate edge list.
+//
+// The builder is the consumption-side counterpart of the
+// communication-free generation scheme: the same A-row-block shards that
+// make sharded generation bytewise reproducible also make ingestion
+// race-free, because shard w owns a contiguous, disjoint range of source
+// vertices — its counting-pass increments and scatter-pass writes touch
+// only rows (and therefore arc slots) no other shard touches. Two passes
+// over the regenerated stream (count → prefix-sum → scatter) produce the
+// finished adjacency with no sorting, no locking, and no per-arc
+// allocation, and the result is identical for every worker count.
+package csr
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"kronvalid/internal/par"
+	"kronvalid/internal/stream"
+)
+
+// Graph is an immutable compressed-sparse-row adjacency over int64 vertex
+// ids — the representation for materialized product graphs, whose vertex
+// space (n_A·n_B) routinely exceeds int32. Neighbor lists are sorted and
+// duplicate-free (inherited from the canonical arc stream).
+type Graph struct {
+	n       int64
+	offsets []int64 // len n+1
+	nbrs    []int64 // len NumArcs, sorted within each row
+}
+
+// New wraps pre-validated CSR arrays. offsets must have len n+1 with
+// offsets[0] == 0, be non-decreasing, and end at len(nbrs); each row of
+// nbrs must be strictly increasing in [0, n). The arrays are owned by the
+// returned Graph.
+func New(offsets, nbrs []int64) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("csr: empty offsets")
+	}
+	n := int64(len(offsets) - 1)
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("csr: offsets[0] = %d, want 0", offsets[0])
+	}
+	if offsets[n] != int64(len(nbrs)) {
+		return nil, fmt.Errorf("csr: offsets end at %d, want %d arcs", offsets[n], len(nbrs))
+	}
+	for v := int64(0); v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("csr: non-monotone offsets at row %d", v)
+		}
+	}
+	g := &Graph{n: n, offsets: offsets, nbrs: nbrs}
+	var bad atomic.Int64
+	bad.Store(-1)
+	par.ForBlocked(n, func(lo, hi int64) {
+		for v := lo; v < hi; v++ {
+			row := nbrs[offsets[v]:offsets[v+1]]
+			for i, w := range row {
+				if w < 0 || w >= n || (i > 0 && row[i-1] >= w) {
+					bad.Store(v)
+					return
+				}
+			}
+		}
+	})
+	if v := bad.Load(); v >= 0 {
+		return nil, fmt.Errorf("csr: row %d is not strictly increasing in [0,%d)", v, n)
+	}
+	return g, nil
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int64 { return g.n }
+
+// NumArcs returns the number of stored directed arcs.
+func (g *Graph) NumArcs() int64 { return int64(len(g.nbrs)) }
+
+// OutDegree returns the out-degree of v (including a self loop).
+func (g *Graph) OutDegree(v int64) int64 { return g.offsets[v+1] - g.offsets[v] }
+
+// Neighbors returns the sorted out-neighbors of v. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int64) []int64 {
+	return g.nbrs[g.offsets[v]:g.offsets[v+1]]
+}
+
+// ArcOffset returns the index into the flat arc array at which v's
+// neighbor slice begins.
+func (g *Graph) ArcOffset(v int64) int64 { return g.offsets[v] }
+
+// HasArc reports whether arc (u, v) exists, by binary search in u's row.
+func (g *Graph) HasArc(u, v int64) bool {
+	nb := g.Neighbors(u)
+	k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return k < len(nb) && nb[k] == v
+}
+
+// ArcIndex returns the global arc index of (u, v), or -1 if the arc does
+// not exist. Arc indices align with the canonical stream order, so
+// per-arc side arrays (supports, counts, weights) can be plain slices.
+func (g *Graph) ArcIndex(u, v int64) int64 {
+	nb := g.Neighbors(u)
+	k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	if k < len(nb) && nb[k] == v {
+		return g.offsets[u] + int64(k)
+	}
+	return -1
+}
+
+// EachArc calls fn for every arc (u, v) in canonical order, stopping
+// early if fn returns false.
+func (g *Graph) EachArc(fn func(u, v int64) bool) {
+	for u := int64(0); u < g.n; u++ {
+		for _, v := range g.nbrs[g.offsets[u]:g.offsets[u+1]] {
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// EachArcBatch streams the adjacency back out as reused Arc batches in
+// canonical order — so a built CSR can feed any stream.Sink (writers,
+// digests, checkers) exactly like the generator does.
+func (g *Graph) EachArcBatch(batchSize int, fn func(batch []stream.Arc) bool) {
+	if batchSize <= 0 {
+		batchSize = stream.DefaultBatchSize
+	}
+	buf := make([]stream.Arc, 0, batchSize)
+	for u := int64(0); u < g.n; u++ {
+		for _, v := range g.nbrs[g.offsets[u]:g.offsets[u+1]] {
+			buf = append(buf, stream.Arc{U: u, V: v})
+			if len(buf) == batchSize {
+				if !fn(buf) {
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		fn(buf)
+	}
+}
+
+// MaxOutDegree returns the maximum out-degree and a vertex achieving it
+// (the smallest such vertex), computed in parallel over row blocks.
+func (g *Graph) MaxOutDegree() (deg, vertex int64) {
+	if g.n == 0 {
+		return 0, -1
+	}
+	workers := par.MaxWorkers()
+	chunks := par.Chunks(g.n, int64(workers))
+	type best struct{ d, v int64 }
+	partial := make([]best, len(chunks))
+	par.MapWorkers(len(chunks), func(ci, _ int) {
+		b := best{-1, -1}
+		for v := chunks[ci][0]; v < chunks[ci][1]; v++ {
+			if d := g.OutDegree(v); d > b.d {
+				b = best{d, v}
+			}
+		}
+		partial[ci] = b
+	})
+	out := best{-1, -1}
+	for _, b := range partial {
+		if b.d > out.d {
+			out = b
+		}
+	}
+	return out.d, out.v
+}
+
+// InDegrees returns the in-degree of every vertex, computed in parallel
+// with atomic per-target increments.
+func (g *Graph) InDegrees() []int64 {
+	indeg := make([]int64, g.n)
+	par.ForBlocked(int64(len(g.nbrs)), func(lo, hi int64) {
+		for _, v := range g.nbrs[lo:hi] {
+			atomic.AddInt64(&indeg[v], 1)
+		}
+	})
+	return indeg
+}
+
+// Transpose returns the reverse graph (every arc flipped): the in-
+// adjacency of g. Construction is the same two-pass scheme as Build —
+// atomic counting, prefix sum, atomic scatter — followed by a parallel
+// per-row sort, which restores the deterministic sorted order that the
+// scheduling-dependent scatter cannot guarantee.
+func (g *Graph) Transpose() *Graph {
+	indeg := g.InDegrees()
+	offsets := make([]int64, g.n+1)
+	for v := int64(0); v < g.n; v++ {
+		offsets[v+1] = offsets[v] + indeg[v]
+	}
+	nbrs := make([]int64, len(g.nbrs))
+	next := make([]int64, g.n)
+	copy(next, offsets[:g.n])
+	par.ForBlocked(g.n, func(lo, hi int64) {
+		for u := lo; u < hi; u++ {
+			for _, v := range g.nbrs[g.offsets[u]:g.offsets[u+1]] {
+				slot := atomic.AddInt64(&next[v], 1) - 1
+				nbrs[slot] = u
+			}
+		}
+	})
+	par.ForBlocked(g.n, func(lo, hi int64) {
+		for v := lo; v < hi; v++ {
+			row := nbrs[offsets[v]:offsets[v+1]]
+			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		}
+	})
+	return &Graph{n: g.n, offsets: offsets, nbrs: nbrs}
+}
+
+// Equal reports whether two graphs have identical vertex counts and
+// adjacency.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.nbrs) != len(h.nbrs) {
+		return false
+	}
+	for i := range g.offsets {
+		if g.offsets[i] != h.offsets[i] {
+			return false
+		}
+	}
+	for i := range g.nbrs {
+		if g.nbrs[i] != h.nbrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Offsets returns the offsets array (len NumVertices+1). It aliases
+// internal storage and must not be modified.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
+// Arcs returns the flat neighbor array in canonical order. It aliases
+// internal storage and must not be modified.
+func (g *Graph) Arcs() []int64 { return g.nbrs }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("csr.Graph{n=%d, arcs=%d}", g.n, len(g.nbrs))
+}

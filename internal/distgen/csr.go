@@ -1,0 +1,34 @@
+package distgen
+
+import (
+	"kronvalid/internal/csr"
+	"kronvalid/internal/stream"
+)
+
+// CSRSource adapts the plan to the two-pass CSR builder's contract. The
+// A-row-block partition already guarantees what the builder needs: shard
+// w emits exactly the product arcs whose source vertex lies in
+// [loA·n_B, hiA·n_B), ranges are disjoint across shards, and any shard
+// can be regenerated at any time — so both builder passes replay the
+// same bytes and never contend on a row.
+func (pl *Plan) CSRSource() csr.Source {
+	nB := int64(pl.p.B.NumVertices())
+	return csr.Source{
+		NumVertices: pl.p.NumVertices(),
+		NumArcs:     pl.TotalArcs(),
+		Shards:      pl.workers,
+		VertexRange: func(w int) (int64, int64) {
+			lo, hi := pl.RowRange(w)
+			return int64(lo) * nB, int64(hi) * nB
+		},
+		Generate: pl.EachShardBatch,
+	}
+}
+
+// BuildCSR materializes the product adjacency as a CSR graph with the
+// parallel two-pass builder (count → prefix-sum → scatter), regenerating
+// each shard twice from the factors instead of ever buffering an edge
+// list. The result is identical for every worker count.
+func (pl *Plan) BuildCSR(opts stream.Options) (*csr.Graph, error) {
+	return csr.Build(pl.CSRSource(), opts)
+}

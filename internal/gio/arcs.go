@@ -1,10 +1,13 @@
 package gio
 
 import (
+	"bufio"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"strconv"
+	"strings"
 
 	"kronvalid/internal/graph"
 	"kronvalid/internal/stream"
@@ -86,6 +89,63 @@ func (b *ArcBinaryWriter) Consume(batch []stream.Arc) error {
 
 // Flush reports any earlier write error; all data is written eagerly.
 func (b *ArcBinaryWriter) Flush() error { return b.err }
+
+// ReadArcsText parses "u<sep>v" lines (tab or spaces) written by
+// ArcTextWriter back into arcs, ignoring blank lines and lines starting
+// with '#' or '%'. It is the inverse of the text sink for any int64
+// vertex ids (no range restriction — the caller knows its vertex space).
+func ReadArcsText(r io.Reader) ([]stream.Arc, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []stream.Arc
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("gio: arcs line %d: want two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: arcs line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: arcs line %d: %w", lineNo, err)
+		}
+		out = append(out, stream.Arc{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: reading arcs: %w", err)
+	}
+	return out, nil
+}
+
+// ReadArcsBinary parses little-endian (uint64, uint64) arc records
+// written by ArcBinaryWriter. A trailing partial record is a truncation
+// error (wrapping io.ErrUnexpectedEOF), never a silently short list.
+func ReadArcsBinary(r io.Reader) ([]stream.Arc, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out []stream.Arc
+	var buf [16]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gio: truncated arc record %d: %w", len(out), eofAsUnexpected(err))
+		}
+		out = append(out, stream.Arc{
+			U: int64(binary.LittleEndian.Uint64(buf[0:8])),
+			V: int64(binary.LittleEndian.Uint64(buf[8:16])),
+		})
+	}
+}
 
 // GraphDigest returns a short stable fingerprint of a factor graph's
 // structure (vertex count, adjacency, labels): FNV-1a over the canonical

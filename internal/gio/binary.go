@@ -74,35 +74,35 @@ func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("gio: reading magic: %w", err)
+		return nil, fmt.Errorf("gio: reading magic: %w", eofAsUnexpected(err))
 	}
 	if magic != binaryMagic {
 		return nil, fmt.Errorf("gio: bad magic %q", magic)
 	}
 	var n, nLabels uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gio: truncated header (vertex count): %w", eofAsUnexpected(err))
 	}
 	if err := binary.Read(br, binary.LittleEndian, &nLabels); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gio: truncated header (label count): %w", eofAsUnexpected(err))
 	}
 	var arcs uint64
 	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gio: truncated header (arc count): %w", eofAsUnexpected(err))
 	}
 	if n > (1<<31-1) || arcs > (1<<40) {
 		return nil, fmt.Errorf("gio: implausible sizes n=%d arcs=%d", n, arcs)
 	}
 	offsets := make([]uint64, n+1)
 	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gio: truncated offsets: %w", eofAsUnexpected(err))
 	}
 	if offsets[0] != 0 || offsets[n] != arcs {
 		return nil, fmt.Errorf("gio: corrupt offsets")
 	}
 	nbrs := make([]uint32, arcs)
 	if err := binary.Read(br, binary.LittleEndian, nbrs); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gio: truncated adjacency: %w", eofAsUnexpected(err))
 	}
 	edges := make([]graph.Edge, 0, arcs)
 	for u := uint32(0); u < n; u++ {
@@ -120,7 +120,7 @@ func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
 	if nLabels > 0 {
 		labels := make([]uint32, n)
 		if err := binary.Read(br, binary.LittleEndian, labels); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("gio: truncated labels: %w", eofAsUnexpected(err))
 		}
 		l32 := make([]int32, n)
 		for i, l := range labels {

@@ -1,0 +1,176 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+
+	"kronvalid/internal/csr"
+)
+
+// Binary CSR format: the materialized product adjacency in one block,
+// mmap-friendly and free of per-arc parsing. Layout (little-endian):
+//
+//	magic   [8]byte  "KRONCSR1"
+//	n       uint64   vertices
+//	arcs    uint64
+//	offsets [n+1]uint64
+//	nbrs    [arcs]uint64
+//
+// Unlike the factor format (KRONFAC1, 32-bit ids) this carries int64
+// product vertex ids. Readers reject truncated or corrupt input with
+// wrapped errors — a short file must never yield a short graph.
+
+var csrMagic = [8]byte{'K', 'R', 'O', 'N', 'C', 'S', 'R', '1'}
+
+// csrChunk is the number of uint64 words encoded per Write call.
+const csrChunk = 1 << 13
+
+// WriteCSR serializes a CSR product graph.
+func WriteCSR(w io.Writer, g *csr.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(csrMagic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumArcs()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeUint64s(bw, g.Offsets()); err != nil {
+		return err
+	}
+	if err := writeUint64s(bw, g.Arcs()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeUint64s encodes a slice of int64 words little-endian in chunks,
+// avoiding both per-word Write calls and a full-slice shadow buffer.
+func writeUint64s(w io.Writer, vals []int64) error {
+	buf := make([]byte, 0, csrChunk*8)
+	for len(vals) > 0 {
+		chunk := vals
+		if len(chunk) > csrChunk {
+			chunk = chunk[:csrChunk]
+		}
+		vals = vals[len(chunk):]
+		b := buf[:len(chunk)*8]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSR deserializes a product graph written by WriteCSR, validating
+// structure (monotone offsets, sorted in-range rows) before returning.
+// Truncated input fails with an error wrapping io.ErrUnexpectedEOF.
+func ReadCSR(r io.Reader) (*csr.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("gio: reading CSR magic: %w", eofAsUnexpected(err))
+	}
+	if magic != csrMagic {
+		return nil, fmt.Errorf("gio: bad CSR magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("gio: truncated CSR header: %w", eofAsUnexpected(err))
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	arcs := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > 1<<48 || arcs > 1<<48 {
+		return nil, fmt.Errorf("gio: implausible CSR sizes n=%d arcs=%d", n, arcs)
+	}
+	offsets, err := readUint64s(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("gio: truncated CSR offsets: %w", err)
+	}
+	nbrs, err := readUint64s(br, arcs)
+	if err != nil {
+		return nil, fmt.Errorf("gio: truncated CSR arcs: %w", err)
+	}
+	g, err := csr.New(offsets, nbrs)
+	if err != nil {
+		return nil, fmt.Errorf("gio: corrupt CSR: %w", err)
+	}
+	return g, nil
+}
+
+// readUint64s decodes count little-endian words, chunked. The output
+// grows with the bytes actually read rather than being pre-sized from
+// count, so a corrupt header declaring petabyte counts fails on the
+// truncated read instead of aborting the process in make().
+func readUint64s(r io.Reader, count uint64) ([]int64, error) {
+	capHint := count
+	if capHint > csrChunk {
+		capHint = csrChunk
+	}
+	out := make([]int64, 0, capHint)
+	buf := make([]byte, csrChunk*8)
+	for done := uint64(0); done < count; {
+		chunk := count - done
+		if chunk > csrChunk {
+			chunk = csrChunk
+		}
+		b := buf[:chunk*8]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, eofAsUnexpected(err)
+		}
+		for i := uint64(0); i < chunk; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+		done += chunk
+	}
+	return out, nil
+}
+
+// eofAsUnexpected normalizes a clean io.EOF in the middle of a fixed-size
+// structure to io.ErrUnexpectedEOF, so every truncation satisfies
+// errors.Is(err, io.ErrUnexpectedEOF).
+func eofAsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// CSRDigest returns a short stable fingerprint of a CSR product graph:
+// FNV-1a over the canonical arc stream, hex-encoded — the same scheme as
+// GraphDigest, so for an unlabeled graph that exists in both
+// representations the two digests are equal whenever every vertex id
+// fits in 32 bits (GraphDigest packs each arc into one 64-bit word).
+// Larger products hash each endpoint as its own word.
+func CSRDigest(g *csr.Graph) string {
+	h := fnv.New64a()
+	var scratch [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	put(uint64(g.NumVertices()))
+	put(uint64(g.NumArcs()))
+	if g.NumVertices() <= 1<<32 {
+		g.EachArc(func(u, v int64) bool {
+			put(uint64(uint32(u))<<32 | uint64(uint32(v)))
+			return true
+		})
+	} else {
+		g.EachArc(func(u, v int64) bool {
+			put(uint64(u))
+			put(uint64(v))
+			return true
+		})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

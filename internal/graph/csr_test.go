@@ -1,0 +1,53 @@
+package graph
+
+import "testing"
+
+func TestFromCSRMatchesFromEdges(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 0, V: 3}, {U: 2, V: 0}, {U: 2, V: 2}, {U: 3, V: 1}}
+	want := FromEdges(4, edges, false)
+	got := FromCSR([]int64{0, 2, 2, 4, 5}, []int32{1, 3, 0, 2, 1})
+	if !got.Equal(want) {
+		t.Fatalf("FromCSR = %v, want %v", got, want)
+	}
+}
+
+func TestFromCSRPanicsOnMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		offsets []int64
+		nbrs    []int32
+	}{
+		{"short offsets", []int64{0, 1}, []int32{0, 1}},
+		{"nonzero start", []int64{1, 2}, []int32{0, 0}},
+		{"non-monotone", []int64{0, 2, 1}, []int32{0, 1}},
+		{"unsorted row", []int64{0, 2}, []int32{1, 0}},
+		{"duplicate", []int64{0, 2}, []int32{0, 0}},
+		{"out of range", []int64{0, 1}, []int32{5}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: FromCSR did not panic", c.name)
+				}
+			}()
+			FromCSR(c.offsets, c.nbrs)
+		}()
+	}
+}
+
+func TestArcIndex(t *testing.T) {
+	g := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 0, V: 3}, {U: 2, V: 0}, {U: 3, V: 1}}, false)
+	wantIdx := map[[2]int32]int64{{0, 1}: 0, {0, 3}: 1, {2, 0}: 2, {3, 1}: 3}
+	idx := int64(0)
+	g.EachArc(func(u, v int32) bool {
+		if got := g.ArcIndex(u, v); got != idx || got != wantIdx[[2]int32{u, v}] {
+			t.Fatalf("ArcIndex(%d,%d) = %d, want %d", u, v, got, idx)
+		}
+		idx++
+		return true
+	})
+	if g.ArcIndex(1, 0) != -1 || g.ArcIndex(0, 2) != -1 {
+		t.Fatal("ArcIndex of a missing arc should be -1")
+	}
+}

@@ -103,9 +103,20 @@ func (g *Graph) Degrees() []int64 {
 
 // HasEdge reports whether arc (u, v) exists, by binary search.
 func (g *Graph) HasEdge(u, v int32) bool {
+	return g.ArcIndex(u, v) >= 0
+}
+
+// ArcIndex returns the index of arc (u, v) in the flattened arc array
+// (the position EachArc visits it at), or -1 if the arc does not exist.
+// It lets per-arc side arrays (supports, census counts) be plain slices
+// aligned with adjacency storage instead of maps.
+func (g *Graph) ArcIndex(u, v int32) int64 {
 	nb := g.Neighbors(u)
 	k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
-	return k < len(nb) && nb[k] == v
+	if k < len(nb) && nb[k] == v {
+		return g.offsets[u] + int64(k)
+	}
+	return -1
 }
 
 // LoopAt reports whether v has a self loop.
@@ -257,6 +268,35 @@ func FromEdges(n int, edges []Edge, symmetrize bool) *Graph {
 	}
 	for v := 0; v < n; v++ {
 		offsets[v+1] += offsets[v]
+	}
+	return &Graph{n: n, offsets: offsets, nbrs: nbrs}
+}
+
+// FromCSR builds a graph directly from compressed-sparse-row arrays,
+// taking ownership of both slices: offsets has len n+1 with
+// offsets[0] == 0 and ends at len(nbrs); every row of nbrs must be
+// strictly increasing in [0, n). This is the O(n + m) ingestion path for
+// adjacency that is already in canonical order (for example the batched
+// product edge stream), where FromEdges' sort and dedup would be wasted
+// work. It panics on malformed input — callers hold the invariant.
+func FromCSR(offsets []int64, nbrs []int32) *Graph {
+	if len(offsets) == 0 || offsets[0] != 0 {
+		panic("graph: FromCSR offsets must start at 0")
+	}
+	n := len(offsets) - 1
+	if offsets[n] != int64(len(nbrs)) {
+		panic("graph: FromCSR offsets do not cover the arc array")
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			panic("graph: FromCSR offsets not monotone")
+		}
+		row := nbrs[offsets[v]:offsets[v+1]]
+		for i, w := range row {
+			if w < 0 || int(w) >= n || (i > 0 && row[i-1] >= w) {
+				panic(fmt.Sprintf("graph: FromCSR row %d not strictly increasing in [0,%d)", v, n))
+			}
+		}
 	}
 	return &Graph{n: n, offsets: offsets, nbrs: nbrs}
 }

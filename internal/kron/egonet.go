@@ -38,7 +38,9 @@ func ExtractEgonet(p *Product, v int64, maxDegree int64) (*Egonet, error) {
 		return nil, fmt.Errorf("kron: egonet degree %d exceeds limit %d", deg, maxDegree)
 	}
 	// Closed neighborhood, center first, self loop excluded from the
-	// neighbor list.
+	// neighbor list. EachNeighbor yields increasing product ids, so
+	// ids[1:] is sorted and local ids resolve by binary search — no
+	// per-egonet hash map.
 	ids := make([]int64, 0, deg+1)
 	ids = append(ids, v)
 	p.EachNeighbor(v, func(u int64) bool {
@@ -47,10 +49,6 @@ func ExtractEgonet(p *Product, v int64, maxDegree int64) (*Egonet, error) {
 		}
 		return true
 	})
-	index := make(map[int64]int32, len(ids))
-	for li, pv := range ids {
-		index[pv] = int32(li)
-	}
 	// Induced edges: center ↔ neighbors by construction; neighbor pairs
 	// via factor probes. Self loops are omitted — they never affect
 	// triangle counts.

@@ -97,22 +97,28 @@ func Decompose(g *graph.Graph) *Decomposition {
 	work = work.WithoutLoops()
 	n := work.NumVertices()
 
-	// Edge ids for u < v.
-	type key = int64
-	mkKey := func(u, v int32) key {
-		if u > v {
-			u, v = v, u
-		}
-		return int64(u)<<32 | int64(v)
-	}
-	edgeID := make(map[key]int32)
+	// Edge ids for u < v, held in an array aligned with the CSR arc
+	// order instead of a hash map: arcEdge[arcIndex(u,v)] is the edge id
+	// of the undirected edge {u,v}. Lookups on the peeling hot path are
+	// then a binary search in a sorted neighbor row plus one array load.
 	var us, vs []int32
-	work.EachEdgeUndirected(func(u, v int32) bool {
-		edgeID[mkKey(u, v)] = int32(len(us))
-		us = append(us, u)
-		vs = append(vs, v)
+	arcEdge := make([]int32, work.NumArcs())
+	arcIdx := int64(0)
+	work.EachArc(func(u, v int32) bool {
+		if u < v {
+			arcEdge[arcIdx] = int32(len(us))
+			us = append(us, u)
+			vs = append(vs, v)
+		} else {
+			arcEdge[arcIdx] = arcEdge[work.ArcIndex(v, u)]
+		}
+		arcIdx++
 		return true
 	})
+	edgeOf := func(u, v int32) int32 {
+		// The callers only probe pairs known to be edges of work.
+		return arcEdge[work.ArcIndex(u, v)]
+	}
 	m := len(us)
 	d := &Decomposition{n: n, us: us, vs: vs, truss: make([]int32, m)}
 	if m == 0 {
@@ -124,7 +130,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 	tri := triangle.Count(work)
 	tri.EdgeDelta.Each(func(r, c int, v int64) bool {
 		if r < c {
-			support[edgeID[mkKey(int32(r), int32(c))]] = int32(v)
+			support[edgeOf(int32(r), int32(c))] = int32(v)
 		}
 		return true
 	})
@@ -195,9 +201,9 @@ func Decompose(g *graph.Graph) *Decomposition {
 							j++
 						default:
 							w := nu[i]
-							e1, ok1 := edgeID[mkKey(u, w)]
-							e2, ok2 := edgeID[mkKey(v, w)]
-							if ok1 && ok2 && alive[e1] && alive[e2] {
+							e1 := edgeOf(u, w)
+							e2 := edgeOf(v, w)
+							if alive[e1] && alive[e2] {
 								if bucketOf[e1] > 0 {
 									moveDown(e1)
 								}
