@@ -10,6 +10,7 @@ import (
 	"kronvalid/internal/gio"
 	"kronvalid/internal/graph"
 	"kronvalid/internal/kron"
+	"kronvalid/internal/model"
 	"kronvalid/internal/sparse"
 	"kronvalid/internal/stats"
 	"kronvalid/internal/stream"
@@ -64,6 +65,9 @@ func CompleteBipartite(a, b int) *Graph { return gen.CompleteBipartite(a, b) }
 
 // ErdosRenyi returns G(n, p), deterministic in seed.
 func ErdosRenyi(n int, p float64, seed uint64) *Graph { return gen.ErdosRenyi(n, p, seed) }
+
+// GNM returns G(n, m) — exactly m distinct edges — deterministic in seed.
+func GNM(n int, m int64, seed uint64) *Graph { return gen.GNM(n, m, seed) }
 
 // BarabasiAlbert returns an n-vertex preferential-attachment graph with m
 // edges per arrival.
@@ -397,6 +401,67 @@ func WriteSharded(dir string, p *Product, workers int, opts WriteShardedOptions)
 
 // ReadShardManifest parses the manifest.json of a WriteSharded directory.
 func ReadShardManifest(dir string) (*ShardManifest, error) { return distgen.ReadManifest(dir) }
+
+// ---- model-agnostic random-model generation ----
+
+// ModelGenerator is a registered random graph model expressed as a
+// communication-free sharded arc stream: randomness lives in fixed
+// chunks any worker regenerates from (seed, chunk) alone, so the
+// concatenated stream is byte-identical for every worker count — the
+// same invariant the Kronecker pipeline has, extended to Erdős–Rényi,
+// G(n, m), R-MAT and Chung–Lu.
+type ModelGenerator = model.Generator
+
+// ModelPlan groups a model's randomness chunks into contiguous shards
+// of near-equal expected work; the plan never touches a random draw.
+type ModelPlan = model.Plan
+
+// NewGenerator builds a model generator from a spec string, e.g.
+// "er:n=100000,p=0.001,seed=42" or "rmat:scale=20,edges=16777216".
+// Every generator's Name() is a spec that reproduces its exact stream.
+func NewGenerator(spec string) (ModelGenerator, error) { return model.New(spec) }
+
+// ModelKinds lists the registered model kinds.
+func ModelKinds() []string { return model.Kinds() }
+
+// NewModelPlan builds a sharding plan for the given worker count
+// (0 = GOMAXPROCS).
+func NewModelPlan(g ModelGenerator, workers int) *ModelPlan { return model.NewPlan(g, workers) }
+
+// StreamModel streams the model's canonical arcs into sink through the
+// ordered parallel pipeline: shards generate concurrently, the sink
+// observes the canonical stream, and the bytes are identical for every
+// worker count. Returns the number of arcs delivered.
+func StreamModel(g ModelGenerator, opts StreamOptions, sink ArcSink) (int64, error) {
+	return model.NewPlan(g, opts.Workers).StreamTo(sink, opts)
+}
+
+// StreamModelToCSR materializes the model's graph by driving the
+// ordered pipeline into the one-pass CSR accumulator — the streamed
+// models emit strictly canonical arcs, so they feed the sink directly.
+func StreamModelToCSR(g ModelGenerator, opts StreamOptions) (*CSRGraph, error) {
+	sink := csr.NewSink(g.NumVertices(), g.NumArcs())
+	if _, err := StreamModel(g, opts, sink); err != nil {
+		return nil, err
+	}
+	return sink.Graph()
+}
+
+// BuildModelCSR materializes the model's graph with the two-pass
+// parallel CSR builder (count → prefix → scatter over the replayable
+// shards); digest-identical to StreamModelToCSR for every worker count.
+func BuildModelCSR(g ModelGenerator, opts StreamOptions) (*CSRGraph, error) {
+	return model.NewPlan(g, opts.Workers).BuildCSR(opts)
+}
+
+// WriteShardedModel writes the model's edge list into dir as one file
+// per shard plus a manifest.json whose model field records the spec,
+// generating shards in parallel. Concatenating the shard files in index
+// order reproduces the model's canonical stream for any worker count.
+func WriteShardedModel(dir string, g ModelGenerator, workers int, opts WriteShardedOptions) (*ShardManifest, error) {
+	return distgen.WriteShardedSource(dir, model.NewPlan(g, workers),
+		distgen.Manifest{Model: g.Name()}, opts)
+}
 
 // ---- CSR ingestion (the consumption side of the pipeline) ----
 

@@ -43,6 +43,14 @@
 //	small := kronvalid.MustProduct(kronvalid.WebGraph(1<<12, 3, 0.7, 42), kronvalid.Clique(16))
 //	g, _ := kronvalid.BuildCSR(small, kronvalid.StreamOptions{})
 //
+//	// The same communication-free sharding carries the classical random
+//	// models (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu): one spec string,
+//	// byte-identical shards for every worker count, CSR-ready streams.
+//	er, _ := kronvalid.NewGenerator("er:n=100000,p=0.001,seed=42")
+//	kronvalid.StreamModel(er, kronvalid.StreamOptions{}, &n)
+//	cg, _ := kronvalid.BuildModelCSR(er, kronvalid.StreamOptions{})
+//	_ = cg
+//
 // See README.md for a package map, the examples directory for runnable
 // programs, and DESIGN.md / EXPERIMENTS.md for the paper-reproduction
 // index and recorded results.

@@ -22,21 +22,87 @@ type ShardInfo struct {
 	Arcs  int64  `json:"arcs"`
 }
 
-// Manifest describes a sharded edge-list directory: which factors the
-// product was generated from (by structural digest), how it was
+// Manifest describes a sharded edge-list directory: which generator
+// produced it (a Kronecker product identified by factor digests, or any
+// registered random model identified by its spec string), how it was
 // partitioned, and exactly what each shard file contains. Because
-// generation is deterministic, the manifest plus the factors fully
-// reproduce every byte of every shard — and concatenating the shard files
-// in index order reproduces the serial EachArc stream for any worker
-// count.
+// generation is deterministic, the manifest plus the generator identity
+// fully reproduce every byte of every shard — and concatenating the
+// shard files in index order reproduces the serial stream for any
+// worker count.
 type Manifest struct {
-	Format        string      `json:"format"` // "tsv" or "binary"
-	FactorADigest string      `json:"factor_a_digest"`
-	FactorBDigest string      `json:"factor_b_digest"`
+	Format string `json:"format"` // "tsv" or "binary"
+	// Model identifies the generator: "kron" for Kronecker products
+	// (with the factor digests below), else a model spec string such as
+	// "er:n=100000,p=0.001,seed=42,chunks=64". Empty in manifests
+	// written before the model-agnostic layer, which were always kron.
+	Model         string      `json:"model,omitempty"`
+	FactorADigest string      `json:"factor_a_digest,omitempty"`
+	FactorBDigest string      `json:"factor_b_digest,omitempty"`
 	Vertices      int64       `json:"vertices"`
 	TotalArcs     int64       `json:"total_arcs"`
 	Workers       int         `json:"workers"`
 	Shards        []ShardInfo `json:"shards"`
+}
+
+// Validate checks the structural invariants every writer-produced
+// manifest satisfies: a known format, sane counts, shard entries indexed
+// 0..len-1 in order with non-negative arc counts summing to the total.
+// Readers reject manifests that fail it — a corrupt manifest must never
+// silently describe the wrong stream.
+func (m *Manifest) Validate() error {
+	if m.Format != "tsv" && m.Format != "binary" {
+		return fmt.Errorf("distgen: manifest format %q is not \"tsv\" or \"binary\"", m.Format)
+	}
+	if m.Vertices < 0 {
+		return fmt.Errorf("distgen: manifest vertex count %d negative", m.Vertices)
+	}
+	if m.TotalArcs < 0 {
+		return fmt.Errorf("distgen: manifest total arc count %d negative", m.TotalArcs)
+	}
+	if m.Workers != len(m.Shards) {
+		return fmt.Errorf("distgen: manifest workers = %d but %d shard entries", m.Workers, len(m.Shards))
+	}
+	var sum int64
+	for i, s := range m.Shards {
+		if s.Index != i {
+			return fmt.Errorf("distgen: shard entry %d has index %d", i, s.Index)
+		}
+		if s.Arcs < 0 {
+			return fmt.Errorf("distgen: shard %d arc count %d negative", i, s.Arcs)
+		}
+		if s.File == "" {
+			return fmt.Errorf("distgen: shard %d has no file name", i)
+		}
+		if filepath.Base(s.File) != s.File || s.File == "." || s.File == ".." {
+			return fmt.Errorf("distgen: shard %d file %q is not a plain file name", i, s.File)
+		}
+		sum += s.Arcs
+	}
+	if sum != m.TotalArcs {
+		return fmt.Errorf("distgen: shard arc counts sum to %d, manifest says %d", sum, m.TotalArcs)
+	}
+	return nil
+}
+
+// StreamSource is the writer-side contract of any communication-free
+// sharded generator: a fixed number of replayable shards, each streaming
+// its arcs in deterministic order. Both the Kronecker Plan and the
+// model-layer plans satisfy it, which is what makes WriteShardedSource
+// generator-agnostic.
+type StreamSource interface {
+	// NumVertices returns the vertex-id space of the stream.
+	NumVertices() int64
+	// TotalArcs returns the exact total arc count, or -1 when unknown
+	// ahead of generation.
+	TotalArcs() int64
+	// Shards returns the number of shards.
+	Shards() int
+	// ShardSize returns the exact arc count of shard w, or -1 when
+	// unknown ahead of generation.
+	ShardSize(w int) int64
+	// EachShardBatch streams shard w under the stream.ShardGen contract.
+	EachShardBatch(w int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc))
 }
 
 // WriteOptions configures WriteSharded.
@@ -45,7 +111,7 @@ type WriteOptions struct {
 	Binary bool
 	// Workers bounds how many shard files are written concurrently
 	// (0 = GOMAXPROCS). It does not affect the partition, which is fixed
-	// by the Plan.
+	// by the source.
 	Workers int
 	// BatchSize is the arcs-per-batch of the pipeline (0 = default).
 	BatchSize int
@@ -68,12 +134,25 @@ func ShardFileName(w int, binary bool) string {
 	return fmt.Sprintf("shard-%03d.tsv", w)
 }
 
-// WriteSharded writes every shard of the plan into dir (one file per
-// shard, written in parallel) plus a manifest.json, and returns the
-// manifest. Output is bitwise reproducible: the partition and each
-// shard's byte stream depend only on the factors and the plan's worker
-// count, never on scheduling.
+// WriteSharded writes every shard of the Kronecker plan into dir plus a
+// manifest.json identifying the factors by digest. See
+// WriteShardedSource for the generator-agnostic path this wraps.
 func WriteSharded(dir string, pl *Plan, opts WriteOptions) (*Manifest, error) {
+	return WriteShardedSource(dir, pl, Manifest{
+		Model:         "kron",
+		FactorADigest: gio.GraphDigest(pl.p.A),
+		FactorBDigest: gio.GraphDigest(pl.p.B),
+	}, opts)
+}
+
+// WriteShardedSource writes every shard of the source into dir (one file
+// per shard, written in parallel) plus a manifest.json carrying the
+// identity fields of base (Model and factor digests), and returns the
+// completed manifest. Output is bitwise reproducible: the partition and
+// each shard's byte stream depend only on the source, never on
+// scheduling — and concatenating the shard files in index order
+// reproduces the source's serial stream.
+func WriteShardedSource(dir string, src StreamSource, base Manifest, opts WriteOptions) (*Manifest, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -83,7 +162,8 @@ func WriteSharded(dir string, pl *Plan, opts WriteOptions) (*Manifest, error) {
 	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	counts, err := stream.RunPerShard(pl.workers, pl.EachShardBatch,
+	shards := src.Shards()
+	counts, err := stream.RunPerShard(shards, src.EachShardBatch,
 		func(w int) (stream.Sink, error) {
 			f, ferr := os.Create(filepath.Join(dir, ShardFileName(w, opts.Binary)))
 			if ferr != nil {
@@ -101,22 +181,28 @@ func WriteSharded(dir string, pl *Plan, opts WriteOptions) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Manifest{
-		Format:        "tsv",
-		FactorADigest: gio.GraphDigest(pl.p.A),
-		FactorBDigest: gio.GraphDigest(pl.p.B),
-		Vertices:      pl.p.NumVertices(),
-		TotalArcs:     pl.TotalArcs(),
-		Workers:       pl.workers,
-	}
+	m := &base
+	m.Format = "tsv"
 	if opts.Binary {
 		m.Format = "binary"
 	}
+	m.Vertices = src.NumVertices()
+	m.Workers = shards
+	m.Shards = nil
+	var total int64
 	for w, n := range counts {
-		if n != pl.ShardSize(w) {
-			return nil, fmt.Errorf("distgen: shard %d wrote %d arcs, plan says %d", w, n, pl.ShardSize(w))
+		if want := src.ShardSize(w); want >= 0 && n != want {
+			return nil, fmt.Errorf("distgen: shard %d wrote %d arcs, source says %d", w, n, want)
 		}
 		m.Shards = append(m.Shards, ShardInfo{Index: w, File: ShardFileName(w, opts.Binary), Arcs: n})
+		total += n
+	}
+	if want := src.TotalArcs(); want >= 0 && total != want {
+		return nil, fmt.Errorf("distgen: wrote %d arcs in total, source says %d", total, want)
+	}
+	m.TotalArcs = total
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	// Remove canonical shard files left over from an earlier run with a
 	// different worker count or format, so `cat shard-*` over the
@@ -156,7 +242,8 @@ func WriteSharded(dir string, pl *Plan, opts WriteOptions) (*Manifest, error) {
 	return m, nil
 }
 
-// ReadManifest parses the manifest.json inside a sharded output directory.
+// ReadManifest parses and validates the manifest.json inside a sharded
+// output directory.
 func ReadManifest(dir string) (*Manifest, error) {
 	f, err := os.Open(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -166,10 +253,14 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return DecodeManifest(f)
 }
 
-// DecodeManifest parses a manifest from a reader.
+// DecodeManifest parses a manifest from a reader, rejecting manifests
+// that fail Validate.
 func DecodeManifest(r io.Reader) (*Manifest, error) {
 	var m Manifest
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	return &m, nil

@@ -1,11 +1,10 @@
 package gen
 
 import (
-	"math"
 	"sort"
 
 	"kronvalid/internal/graph"
-	"kronvalid/internal/rng"
+	"kronvalid/internal/model"
 )
 
 // ChungLu samples an undirected graph with independent edges where
@@ -15,13 +14,35 @@ import (
 // independence, so ChungLu with the *product's own degree sequence* is
 // the paper's implied null.
 //
-// Sampling is O(n + m) in expectation via the Miller–Hagberg bucketed
-// algorithm: vertices are sorted by weight and, for each u, candidate
-// neighbors are skipped geometrically.
+// The sampler is a thin adapter over the sharded Miller–Hagberg core in
+// internal/model: vertices are sorted by weight, the streamed core emits
+// canonical arcs in the weight-sorted index space, and the arcs are
+// mapped back through the sort order — O(n + m) in expectation, and
+// byte-identical to the sharded pipeline for every worker count.
 func ChungLu(degrees []int64, seed uint64) *graph.Graph {
 	n := len(degrees)
-	g := rng.New(seed)
-	order := make([]int32, n)
+	order := chungLuOrder(degrees)
+	weights := make([]float64, n)
+	for i, v := range order {
+		weights[i] = float64(degrees[v])
+	}
+	mg, err := model.NewChungLu(weights, seed, 0)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	arcs := model.Collect(mg)
+	edges := make([]graph.Edge, len(arcs))
+	for i, a := range arcs {
+		edges[i] = graph.Edge{U: order[a.U], V: order[a.V]}
+	}
+	return graph.FromEdges(n, edges, true)
+}
+
+// chungLuOrder returns vertex indices sorted by decreasing weight
+// (ties by increasing index) — the bucket order the streamed core
+// requires.
+func chungLuOrder(degrees []int64) []int32 {
+	order := make([]int32, len(degrees))
 	for i := range order {
 		order[i] = int32(i)
 	}
@@ -31,46 +52,7 @@ func ChungLu(degrees []int64, seed uint64) *graph.Graph {
 		}
 		return order[a] < order[b]
 	})
-	var sumD float64
-	for _, d := range degrees {
-		sumD += float64(d)
-	}
-	if sumD == 0 {
-		return graph.FromEdges(n, nil, true)
-	}
-	var edges []graph.Edge
-	for i := 0; i < n-1; i++ {
-		wu := float64(degrees[order[i]])
-		if wu == 0 {
-			break
-		}
-		j := i + 1
-		p := wu * float64(degrees[order[j]]) / sumD
-		if p > 1 {
-			p = 1
-		}
-		for j < n && p > 0 {
-			if p < 1 {
-				// Geometric skip to the next candidate that survives a
-				// Bernoulli(p) sequence.
-				skip := int(math.Log1p(-g.Float64()) / math.Log1p(-p))
-				j += skip
-			}
-			if j >= n {
-				break
-			}
-			q := wu * float64(degrees[order[j]]) / sumD
-			if q > 1 {
-				q = 1
-			}
-			if g.Float64() < q/p {
-				edges = append(edges, graph.Edge{U: order[i], V: order[j]})
-			}
-			p = q
-			j++
-		}
-	}
-	return graph.FromEdges(n, edges, true)
+	return order
 }
 
 // ExpectedTrianglesChungLu returns the analytic expected triangle count

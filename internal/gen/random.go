@@ -1,23 +1,89 @@
 package gen
 
 import (
+	"fmt"
+	"math"
+
 	"kronvalid/internal/graph"
+	"kronvalid/internal/model"
 	"kronvalid/internal/rng"
 )
 
-// ErdosRenyi returns G(n, p): each unordered pair is an edge independently
-// with probability p.
+// collectModel materializes a streamed model as an explicit undirected
+// factor graph: the legacy constructors below are thin adapters over the
+// communication-free sharded cores in internal/model, so the explicit
+// and streamed paths can never drift apart.
+func collectModel(g model.Generator, err error) (*graph.Graph, error) {
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if n > int64(^uint32(0)>>1) {
+		return nil, fmt.Errorf("gen: model with %d vertices too large for an explicit int32 graph", n)
+	}
+	arcs := model.Collect(g)
+	edges := make([]graph.Edge, len(arcs))
+	for i, a := range arcs {
+		edges[i] = graph.Edge{U: int32(a.U), V: int32(a.V)}
+	}
+	return graph.FromEdges(int(n), edges, true), nil
+}
+
+// fromModel is collectModel for the panicking legacy constructors,
+// whose contract (like BarabasiAlbert's) is to panic on invalid
+// arguments. Error-returning callers — the spec boundary — use the
+// *Err variants instead.
+func fromModel(g model.Generator, err error) *graph.Graph {
+	out, err := collectModel(g, err)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return out
+}
+
+// ErdosRenyi returns G(n, p): each unordered pair is an edge
+// independently with probability p. It adapts the sharded streaming
+// core, which skips geometrically through the pair index space —
+// O(expected edges), not the O(n²) Bernoulli sweep of the seed
+// implementation. Out-of-range p keeps the seed implementation's
+// behavior: it acts as its clamp into [0, 1] (NaN as 0).
 func ErdosRenyi(n int, p float64, seed uint64) *graph.Graph {
-	g := rng.New(seed)
-	var edges []graph.Edge
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if g.Float64() < p {
-				edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
-			}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return fromModel(model.NewErdosRenyi(int64(n), p, seed, 0))
+}
+
+// GNM returns G(n, m): exactly m distinct unordered pairs, uniform up
+// to the deterministic binomial edge-count splitting of the streamed
+// core. It panics on invalid arguments; spec-boundary callers use
+// GNMErr.
+func GNM(n int, m int64, seed uint64) *graph.Graph {
+	return fromModel(model.NewGnm(int64(n), m, seed, 0))
+}
+
+// GNMErr is GNM with an error return, for callers handling
+// user-supplied parameters (the spec grammar).
+func GNMErr(n int, m int64, seed uint64) (*graph.Graph, error) {
+	return collectModel(model.NewGnm(int64(n), m, seed, 0))
+}
+
+// smallSet is the reusable membership scratch for per-vertex target
+// dedup in the preferential-attachment generators: attachment counts m
+// are tiny (single digits), where a linear scan over a reused slice
+// beats a freshly allocated map by a wide margin (see BenchmarkBADedup).
+type smallSet []int32
+
+func (s smallSet) contains(w int32) bool {
+	for _, x := range s {
+		if x == w {
+			return true
 		}
 	}
-	return graph.FromEdges(n, edges, true)
+	return false
 }
 
 // BarabasiAlbert returns the preferential-attachment graph of [35]: each
@@ -39,13 +105,12 @@ func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
 		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
 		targets = append(targets, 0, int32(v))
 	}
+	order := make(smallSet, 0, m)
 	for v := m + 1; v < n; v++ {
-		chosen := map[int32]bool{}
-		order := make([]int32, 0, m)
+		order = order[:0]
 		for len(order) < m {
 			w := targets[g.Intn(len(targets))]
-			if !chosen[w] {
-				chosen[w] = true
+			if !order.contains(w) {
 				order = append(order, w)
 			}
 		}
@@ -81,9 +146,9 @@ func WebGraph(n, m int, pt float64, seed uint64) *graph.Graph {
 	for v := 1; v <= m; v++ {
 		addEdge(0, int32(v))
 	}
+	order := make(smallSet, 0, m)
 	for v := m + 1; v < n; v++ {
-		chosen := map[int32]bool{}
-		order := make([]int32, 0, m)
+		order = order[:0]
 		var prev int32 = -1
 		for len(order) < m {
 			var w int32 = -1
@@ -91,13 +156,12 @@ func WebGraph(n, m int, pt float64, seed uint64) *graph.Graph {
 				// Triad closure: a random neighbor of the previous target.
 				w = adj[prev][g.Intn(len(adj[prev]))]
 			}
-			if w < 0 || w == int32(v) || chosen[w] {
+			if w < 0 || w == int32(v) || order.contains(w) {
 				w = targets[g.Intn(len(targets))]
 			}
-			if w == int32(v) || chosen[w] {
+			if w == int32(v) || order.contains(w) {
 				continue
 			}
-			chosen[w] = true
 			order = append(order, w)
 			prev = w
 		}
@@ -112,40 +176,26 @@ func WebGraph(n, m int, pt float64, seed uint64) *graph.Graph {
 // vertices, approximately edges undirected edges sampled with quadrant
 // probabilities (a, b, c, d), a+b+c+d = 1. Duplicates are merged and self
 // loops dropped, so the realized edge count can be slightly lower. This is
-// the Rem. 1 baseline: edge independence makes triangles scarce.
+// the Rem. 1 baseline: edge independence makes triangles scarce. It
+// adapts the sharded streaming core (per-u-subtree multinomial edge
+// splitting).
 func RMAT(scale int, edges int64, a, b, c, d float64, seed uint64) *graph.Graph {
 	if scale < 1 || scale > 30 {
 		panic("gen: RMAT scale out of range [1,30]")
 	}
-	sum := a + b + c + d
-	if sum <= 0 {
+	if a+b+c+d <= 0 {
 		panic("gen: RMAT probabilities must be positive")
 	}
-	a, b, c = a/sum, b/sum, c/sum
-	g := rng.New(seed)
-	n := 1 << uint(scale)
-	var list []graph.Edge
-	for e := int64(0); e < edges; e++ {
-		u, v := 0, 0
-		for bit := 0; bit < scale; bit++ {
-			r := g.Float64()
-			switch {
-			case r < a:
-				// top-left
-			case r < a+b:
-				v |= 1 << uint(bit)
-			case r < a+b+c:
-				u |= 1 << uint(bit)
-			default:
-				u |= 1 << uint(bit)
-				v |= 1 << uint(bit)
-			}
-		}
-		if u != v {
-			list = append(list, graph.Edge{U: int32(u), V: int32(v)})
-		}
+	return fromModel(model.NewRMAT(scale, edges, a, b, c, d, seed, 0))
+}
+
+// RMATErr is RMAT with an error return, for callers handling
+// user-supplied parameters (the spec grammar).
+func RMATErr(scale int, edges int64, a, b, c, d float64, seed uint64) (*graph.Graph, error) {
+	if scale < 1 || scale > 30 {
+		return nil, fmt.Errorf("gen: RMAT scale %d out of range [1,30] for an explicit graph", scale)
 	}
-	return graph.FromEdges(n, list, true)
+	return collectModel(model.NewRMAT(scale, edges, a, b, c, d, seed, 0))
 }
 
 // Graph500RMAT returns an R-MAT graph with the Graph500 benchmark

@@ -1,0 +1,211 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"kronvalid/internal/rng"
+	"kronvalid/internal/stream"
+)
+
+// Gnm is the sharded G(n, m) model: exactly m distinct unordered pairs,
+// uniform among all pair sets of that size up to the splitting
+// approximation below, emitted as upper-triangle arcs in canonical
+// order.
+//
+// The edge budget is divided across chunks by recursive binomial
+// splitting over the chunk tree: the node covering chunks [lo, hi)
+// assigns its left half Binomial(m_node, pairs_left/pairs_node) edges
+// from an rng derived purely from (seed, lo, hi), so every worker
+// recomputes every chunk's exact count — in O(log chunks) draws — with
+// no communication, and the counts sum to m exactly. Within a chunk the
+// count is realized as uniformly sampled distinct pair indices.
+type Gnm struct {
+	n    int64
+	m    int64
+	seed uint64
+	ps   pairSpace
+	rows [][2]int64
+}
+
+// maxGnmChunkEdges bounds the per-chunk edge budget (each chunk holds
+// its sampled pair indices in memory); budgets past it are construction
+// errors ("raise chunks") rather than mid-stream memory exhaustion.
+const maxGnmChunkEdges = int64(1) << 27
+
+// NewGnm returns the sharded G(n, m) generator. chunks = 0 means
+// DefaultChunks; the chunk count is part of the stream identity.
+func NewGnm(n, m int64, seed uint64, chunks int) (*Gnm, error) {
+	if n < 0 || n > maxPairVertices {
+		return nil, fmt.Errorf("model: gnm vertex count %d out of [0, %d]", n, maxPairVertices)
+	}
+	ps := newPairSpace(n)
+	if m < 0 || m > ps.total {
+		return nil, fmt.Errorf("model: gnm edge count %d out of [0, %d]", m, ps.total)
+	}
+	g := &Gnm{n: n, m: m, seed: seed, ps: ps, rows: ps.chunkRows(chunks)}
+	if budget := maxGnmChunkEdges * int64(len(g.rows)); m > budget {
+		return nil, fmt.Errorf("model: gnm edge count %d exceeds %d chunks × per-chunk cap %d; raise chunks",
+			m, len(g.rows), maxGnmChunkEdges)
+	}
+	return g, nil
+}
+
+func buildGnm(p *Params) (Generator, error) {
+	n, err := p.Int64("n", -1)
+	if err != nil {
+		return nil, err
+	}
+	m, err := p.Int64("m", -1)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := p.Seed()
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := p.Int("chunks", 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewGnm(n, m, seed, chunks)
+}
+
+func init() { Register("gnm", buildGnm) }
+
+// Name returns the canonical spec of this generator.
+func (g *Gnm) Name() string {
+	return fmt.Sprintf("gnm:n=%d,m=%d,seed=%d,chunks=%d", g.n, g.m, g.seed, len(g.rows))
+}
+
+// NumVertices returns n.
+func (g *Gnm) NumVertices() int64 { return g.n }
+
+// NumArcs returns the exact arc count m.
+func (g *Gnm) NumArcs() int64 { return g.m }
+
+// Chunks returns the fixed chunk count.
+func (g *Gnm) Chunks() int { return len(g.rows) }
+
+// ChunkRange returns chunk c's source-vertex (row) range.
+func (g *Gnm) ChunkRange(c int) (lo, hi int64) {
+	r := g.rows[c]
+	return r[0], r[1]
+}
+
+// ChunkWeight returns chunk c's pair count.
+func (g *Gnm) ChunkWeight(c int) int64 {
+	r := g.rows[c]
+	return g.ps.offset(r[1]) - g.ps.offset(r[0])
+}
+
+// pairsInSlots returns the number of pairs covered by chunk slots
+// [lo, hi). Chunk row ranges are contiguous, so this is one subtraction.
+func (g *Gnm) pairsInSlots(lo, hi int) int64 {
+	return g.ps.offset(g.rows[hi-1][1]) - g.ps.offset(g.rows[lo][0])
+}
+
+// ChunkArcs returns chunk c's exact edge count by descending the
+// splitting tree from the root: O(log chunks) binomial draws, each from
+// a stream derived purely from (seed, node), so every caller computes
+// the same value.
+func (g *Gnm) ChunkArcs(c int) int64 {
+	lo, hi := 0, len(g.rows)
+	m := g.m
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		total := g.pairsInSlots(lo, hi)
+		left := g.pairsInSlots(lo, mid)
+		var mLeft int64
+		if total > 0 {
+			node := uint64(lo)<<32 | uint64(hi)
+			s := rng.NewStream2(g.seed, nsGnmSplit, node)
+			mLeft = s.Binomial(m, float64(left)/float64(total))
+			// Clamp to the feasible range [m - pairs_right, pairs_left]:
+			// the binomial approximation of the hypergeometric split can
+			// otherwise assign a side more edges than it has pairs (e.g.
+			// near-complete graphs). Both ends stay in range because
+			// m <= total.
+			if right := total - left; mLeft < m-right {
+				mLeft = m - right
+			}
+			if mLeft > left {
+				mLeft = left
+			}
+		}
+		if c < mid {
+			hi, m = mid, mLeft
+		} else {
+			lo, m = mid, m-mLeft
+		}
+	}
+	return m
+}
+
+// GenerateChunk streams chunk c: its exact edge count is realized as
+// that many distinct uniform pair indices from the chunk's pair range,
+// sorted into canonical order. Dense chunks (> half the range) sample
+// the complement instead, keeping expected work O(min(m_c, R-m_c)).
+func (g *Gnm) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	mC := g.ChunkArcs(c)
+	if mC == 0 {
+		return
+	}
+	r := g.rows[c]
+	i0, i1 := g.ps.offset(r[0]), g.ps.offset(r[1])
+	size := i1 - i0
+	b := newBatcher(buf, emit)
+	w := g.ps.walkerAt(r[0])
+	place := func(t int64) bool {
+		u, v := w.step(t)
+		return b.add(u, v)
+	}
+	s := rng.NewStream2(g.seed, nsGnmChunk, uint64(c))
+	switch {
+	case mC == size:
+		for t := i0; t < i1; t++ {
+			if !place(t) {
+				return
+			}
+		}
+	case 2*mC <= size:
+		idxs := sampleDistinct(s, i0, size, mC)
+		for _, t := range idxs {
+			if !place(t) {
+				return
+			}
+		}
+	default:
+		excluded := make(map[int64]struct{}, size-mC)
+		for int64(len(excluded)) < size-mC {
+			excluded[i0+s.Int64n(size)] = struct{}{}
+		}
+		for t := i0; t < i1; t++ {
+			if _, skip := excluded[t]; skip {
+				continue
+			}
+			if !place(t) {
+				return
+			}
+		}
+	}
+	b.flush()
+}
+
+// sampleDistinct draws k distinct values from [base, base+size) by
+// rejection and returns them sorted. Callers guarantee 2k <= size, so
+// the expected number of draws is below 2k.
+func sampleDistinct(s *rng.Xoshiro256, base, size, k int64) []int64 {
+	seen := make(map[int64]struct{}, k)
+	out := make([]int64, 0, k)
+	for int64(len(out)) < k {
+		v := base + s.Int64n(size)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

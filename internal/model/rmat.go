@@ -1,0 +1,280 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"kronvalid/internal/rng"
+	"kronvalid/internal/stream"
+)
+
+// RMAT is the sharded stochastic-Kronecker (R-MAT) model on 2^scale
+// vertices: `edges` directed arcs are sampled by recursive quadrant
+// descent with probabilities (a, b, c, d); self loops are dropped and
+// duplicates merged, so the realized arc count can be slightly lower.
+//
+// Chunks are the 2^k subtrees of the source-vertex dimension (the top k
+// bits of u), so each chunk owns a contiguous u range. The edge budget
+// is split across subtrees by recursive binomial splitting with the
+// exact conditional probabilities — P(u-bit = 0) = a+b at every level —
+// which realizes the exact multinomial law of how many of the e edges
+// fall in each subtree, from (seed, node)-derived streams any worker
+// can replay. Within a chunk the fixed u-bits are given, so the
+// corresponding v-bits are sampled from their conditional distributions
+// (b/(a+b) or d/(c+d)) and the remaining bits from the joint quadrant
+// law; the chunk's arcs are then sorted and deduplicated, making the
+// concatenated stream canonical and CSR-ready.
+type RMAT struct {
+	scale      int
+	edges      int64
+	a, b, c, d float64
+	seed       uint64
+	k          uint // log2 of the chunk count
+	pv0, pv1   float64
+}
+
+// maxRMATScale bounds the vertex-id space to stay well inside int64.
+const maxRMATScale = 48
+
+// maxRMATEdges bounds the total edge budget.
+const maxRMATEdges = int64(1) << 36
+
+// maxRMATChunkEdges bounds the *expected* edge budget of the heaviest
+// chunk: each chunk buffers its samples (16 B/arc) for the sort+dedup
+// pass, so a budget that concentrates past this in one subtree is a
+// construction error ("raise chunks") rather than an OOM mid-stream.
+const maxRMATChunkEdges = int64(1) << 28
+
+// NewRMAT returns the sharded R-MAT generator. The probabilities are
+// normalized to sum to 1; chunks is rounded down to a power of two and
+// clamped to [1, 2^scale] (0 means DefaultChunks).
+func NewRMAT(scale int, edges int64, a, b, c, d float64, seed uint64, chunks int) (*RMAT, error) {
+	if scale < 1 || scale > maxRMATScale {
+		return nil, fmt.Errorf("model: rmat scale %d out of [1, %d]", scale, maxRMATScale)
+	}
+	if edges < 0 || edges > maxRMATEdges {
+		return nil, fmt.Errorf("model: rmat edge count %d out of [0, %d]", edges, maxRMATEdges)
+	}
+	sum := a + b + c + d
+	if !(sum > 0) || a < 0 || b < 0 || c < 0 || d < 0 ||
+		math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return nil, fmt.Errorf("model: rmat probabilities (%v, %v, %v, %v) must be non-negative with a positive sum", a, b, c, d)
+	}
+	a, b, c, d = a/sum, b/sum, c/sum, d/sum
+	k := rmatChunkBits(scale, chunks)
+	heaviest := math.Max(a+b, c+d)
+	if expect := float64(edges) * math.Pow(heaviest, float64(k)); expect > float64(maxRMATChunkEdges) {
+		return nil, fmt.Errorf("model: rmat edge budget %d concentrates ~%.0f samples in the heaviest of %d chunks (per-chunk cap %d); raise chunks or lower edges",
+			edges, expect, 1<<k, maxRMATChunkEdges)
+	}
+	g := &RMAT{scale: scale, edges: edges, a: a, b: b, c: c, d: d, seed: seed, k: k}
+	if ab := a + b; ab > 0 {
+		g.pv0 = b / ab
+	}
+	if cd := c + d; cd > 0 {
+		g.pv1 = d / cd
+	}
+	return g, nil
+}
+
+// rmatChunkBits resolves a requested chunk count to the log2 of the
+// actual (power-of-two) chunk count for the given scale.
+func rmatChunkBits(scale, chunks int) uint {
+	chunks = normalizeChunks(chunks, int64(1)<<uint(scale))
+	k := uint(0)
+	for int(1)<<(k+1) <= chunks {
+		k++
+	}
+	return k
+}
+
+// DefaultRMATEdges returns the default edge budget of an R-MAT spec —
+// the Graph500 edge factor 16 — clamped to a budget NewRMAT accepts for
+// the given probabilities and requested chunk count (0 means
+// DefaultChunks): a spec that omits edges= must never fail over an edge
+// count the user did not supply. Returns -1 (treated as required by the
+// parameter readers) when scale or the probabilities are unusable.
+func DefaultRMATEdges(scale int, a, b, c, d float64, chunks int) int64 {
+	sum := a + b + c + d
+	if scale < 1 || scale > maxRMATScale || !(sum > 0) || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return -1
+	}
+	edges := int64(16) << uint(scale)
+	if edges > maxRMATEdges {
+		edges = maxRMATEdges
+	}
+	heaviest := math.Max(a+b, c+d) / sum
+	k := rmatChunkBits(scale, chunks)
+	if byChunk := float64(maxRMATChunkEdges) / math.Pow(heaviest, float64(k)); float64(edges) > byChunk {
+		edges = int64(byChunk)
+	}
+	return edges
+}
+
+func buildRMAT(p *Params) (Generator, error) {
+	scale, err := p.Int("scale", -1)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.Float("a", 0.57)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.Float("b", 0.19)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.Float("c", 0.19)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.Float("d", 0.05)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := p.Seed()
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := p.Int("chunks", 0)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := p.Int64("edges", DefaultRMATEdges(scale, a, b, c, d, chunks))
+	if err != nil {
+		return nil, err
+	}
+	return NewRMAT(scale, edges, a, b, c, d, seed, chunks)
+}
+
+func init() { Register("rmat", buildRMAT) }
+
+// Name returns the canonical spec of this generator.
+func (g *RMAT) Name() string {
+	return fmt.Sprintf("rmat:scale=%d,edges=%d,a=%s,b=%s,c=%s,d=%s,seed=%d,chunks=%d",
+		g.scale, g.edges, formatFloat(g.a), formatFloat(g.b), formatFloat(g.c), formatFloat(g.d),
+		g.seed, g.Chunks())
+}
+
+// NumVertices returns 2^scale.
+func (g *RMAT) NumVertices() int64 { return int64(1) << uint(g.scale) }
+
+// NumArcs returns -1: deduplication makes the realized count random.
+func (g *RMAT) NumArcs() int64 { return -1 }
+
+// Chunks returns the fixed chunk count 2^k.
+func (g *RMAT) Chunks() int { return 1 << g.k }
+
+// chunkShift is the width of the per-chunk low u-bits.
+func (g *RMAT) chunkShift() uint { return uint(g.scale) - g.k }
+
+// ChunkRange returns chunk q's source-vertex range: the u values whose
+// top k bits equal q.
+func (g *RMAT) ChunkRange(q int) (lo, hi int64) {
+	return int64(q) << g.chunkShift(), int64(q+1) << g.chunkShift()
+}
+
+// subtreeProb returns the probability that one edge's source falls in
+// chunk q's u-subtree.
+func (g *RMAT) subtreeProb(q int) float64 {
+	p := 1.0
+	for level := uint(0); level < g.k; level++ {
+		if q>>(g.k-1-level)&1 == 0 {
+			p *= g.a + g.b
+		} else {
+			p *= g.c + g.d
+		}
+	}
+	return p
+}
+
+// ChunkWeight returns chunk q's expected edge count (plus one, so empty
+// subtrees still carry iteration cost).
+func (g *RMAT) ChunkWeight(q int) int64 {
+	return 1 + int64(g.subtreeProb(q)*float64(g.edges))
+}
+
+// ChunkArcs returns -1: deduplication makes per-chunk counts random.
+func (g *RMAT) ChunkArcs(q int) int64 { return -1 }
+
+// chunkEdgeBudget descends the k-level u-bit splitting tree and returns
+// the number of raw edge samples assigned to chunk q. Node streams are
+// derived from (seed, heap index), so every worker computes identical
+// splits; the left share at every node is Binomial(e_node, a+b), the
+// exact conditional law, so the leaf counts follow the exact multinomial
+// distribution over subtrees and sum to edges.
+func (g *RMAT) chunkEdgeBudget(q int) int64 {
+	e := g.edges
+	for level := uint(0); level < g.k; level++ {
+		node := uint64(1)<<level | uint64(q)>>(g.k-level)
+		s := rng.NewStream2(g.seed, nsRMATSplit, node)
+		left := s.Binomial(e, g.a+g.b)
+		if q>>(g.k-1-level)&1 == 0 {
+			e = left
+		} else {
+			e -= left
+		}
+	}
+	return e
+}
+
+// GenerateChunk samples chunk q's edge budget with the conditioned
+// quadrant descent, drops self loops, sorts and deduplicates, and emits
+// the canonical-order result.
+func (g *RMAT) GenerateChunk(q int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	eC := g.chunkEdgeBudget(q)
+	if eC == 0 {
+		return
+	}
+	s := rng.NewStream2(g.seed, nsRMATChunk, uint64(q))
+	shift := g.chunkShift()
+	base := int64(q) << shift
+	// Pre-size for the common case but let append grow past it: the
+	// realized budget can exceed the constructor's expected-heaviest
+	// bound, and one bounded-capacity allocation must not become one
+	// giant allocation.
+	capHint := eC
+	if capHint > 1<<22 {
+		capHint = 1 << 22
+	}
+	arcs := make([]stream.Arc, 0, capHint)
+	for e := int64(0); e < eC; e++ {
+		u, v := base, int64(0)
+		// Fixed u-bits: sample the paired v-bits conditionally.
+		for bit := g.scale - 1; bit >= int(shift); bit-- {
+			pv := g.pv0
+			if u>>uint(bit)&1 == 1 {
+				pv = g.pv1
+			}
+			if s.Float64() < pv {
+				v |= int64(1) << uint(bit)
+			}
+		}
+		// Free bits: joint quadrant law.
+		for bit := int(shift) - 1; bit >= 0; bit-- {
+			r := s.Float64()
+			switch {
+			case r < g.a:
+			case r < g.a+g.b:
+				v |= int64(1) << uint(bit)
+			case r < g.a+g.b+g.c:
+				u |= int64(1) << uint(bit)
+			default:
+				u |= int64(1) << uint(bit)
+				v |= int64(1) << uint(bit)
+			}
+		}
+		if u != v {
+			arcs = append(arcs, stream.Arc{U: u, V: v})
+		}
+	}
+	sortArcs(arcs)
+	arcs = dedupArcs(arcs)
+	b := newBatcher(buf, emit)
+	for _, a := range arcs {
+		if !b.add(a.U, a.V) {
+			return
+		}
+	}
+	b.flush()
+}

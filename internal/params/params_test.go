@@ -1,0 +1,83 @@
+package params
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndAccessors(t *testing.T) {
+	kind, p, err := Parse("er:n=100,p=0.5,seed=7,chunks=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "er" {
+		t.Fatalf("kind = %q", kind)
+	}
+	if n, err := p.Int64("n", -1); err != nil || n != 100 {
+		t.Fatalf("n = %d, %v", n, err)
+	}
+	if v, err := p.Float("p", 0); err != nil || v != 0.5 {
+		t.Fatalf("p = %v, %v", v, err)
+	}
+	if s, err := p.Seed(); err != nil || s != 7 {
+		t.Fatalf("seed = %d, %v", s, err)
+	}
+	if c, err := p.Int("chunks", 0); err != nil || c != 16 {
+		t.Fatalf("chunks = %d, %v", c, err)
+	}
+	if err := p.CheckUnused("er"); err != nil {
+		t.Fatalf("all keys consumed but CheckUnused = %v", err)
+	}
+}
+
+func TestUnusedKeysReported(t *testing.T) {
+	_, p, err := Parse("x:a=1,b=2,c=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Int("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Unused()
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("Unused = %v, want [b c]", got)
+	}
+	if err := p.CheckUnused("x"); err == nil || !strings.Contains(err.Error(), "unknown parameters") {
+		t.Fatalf("CheckUnused = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse("er:n=1,junk"); err == nil {
+		t.Error("malformed pair accepted")
+	}
+	_, p, err := Parse("er:n=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Int("n", -1); err == nil {
+		t.Error("non-numeric int accepted")
+	}
+	if _, err := p.Int64("missing", -1); err == nil {
+		t.Error("missing required key accepted")
+	}
+	if v, err := p.Float("absent", 2.5); err != nil || v != 2.5 {
+		t.Errorf("default float = %v, %v", v, err)
+	}
+	if s, err := p.Seed(); err != nil || s != 1 {
+		t.Errorf("default seed = %d, %v", s, err)
+	}
+}
+
+func TestKindOnlySpec(t *testing.T) {
+	kind, p, err := Parse("clique")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "clique" {
+		t.Fatalf("kind = %q", kind)
+	}
+	if err := p.CheckUnused("clique"); err != nil {
+		t.Fatal(err)
+	}
+}

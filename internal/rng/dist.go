@@ -1,0 +1,167 @@
+package rng
+
+import "math"
+
+// maxGeometric caps Geometric's return value so that extreme (u, p)
+// combinations cannot overflow downstream index arithmetic; any caller
+// range is exhausted long before this bound.
+const maxGeometric = int64(1) << 62
+
+// Geometric returns the number of failures before the first success in a
+// Bernoulli(p) sequence, i.e. a sample of the geometric distribution on
+// {0, 1, 2, …} with success probability p. It is the skip length of the
+// standard O(expected-successes) sparse-sampling loop: instead of testing
+// every candidate with probability p, jump Geometric(p)+1 candidates
+// ahead. p >= 1 always returns 0; p must be positive.
+func (g *Xoshiro256) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric with non-positive p")
+	}
+	// Inversion: floor(log(1-U) / log(1-p)), with log1p for precision at
+	// small p. 1-U is never zero because Float64 is in [0, 1).
+	k := math.Log1p(-g.Float64()) / math.Log1p(-p)
+	if k >= float64(maxGeometric) {
+		return maxGeometric
+	}
+	return int64(k)
+}
+
+// smallBinomialCutoff separates the two Binomial regimes: below it the
+// geometric-skip counter (O(n·min(p,1-p)) expected) is cheaper than the
+// mode-centered sampler's log-gamma setup.
+const smallBinomialCutoff = 256
+
+// largeBinomialCutoff is the trial count beyond which the zig-zag
+// sampler is numerically unsafe: Lgamma(n) grows like n·ln(n), so for
+// n ≈ 2^36 its ulp is already ~2^-12 and the three-term cancellation in
+// the mode pmf stays accurate, while by n ≈ 10^14 the cancellation
+// error reaches the exponent, the computed mode pmf collapses to ~0 and
+// the sweep degenerates to O(n). Above the cutoff a clamped normal
+// approximation (relative error O(1/√n) < 10^-5 there) is used instead.
+const largeBinomialCutoff = int64(1) << 36
+
+// Binomial returns a sample of the Binomial(n, p) distribution: the
+// number of successes in n independent Bernoulli(p) trials. Small means
+// (n·min(p,1-p) below a fixed cutoff) count geometric skips; larger ones
+// use an exact mode-centered zig-zag inversion whose expected cost is
+// O(√(np(1-p))) — what keeps recursive edge-count splitting over
+// billions of edges cheap. The regime choice depends only on (n, p) and
+// every path consumes draws as a pure function of the generator state,
+// so equal states yield equal samples on every machine.
+func (g *Xoshiro256) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	q := p
+	if q > 0.5 {
+		q = 1 - q
+	}
+	if float64(n)*q <= smallBinomialCutoff {
+		if p > 0.5 {
+			return n - g.binomialCount(n, 1-p)
+		}
+		return g.binomialCount(n, p)
+	}
+	if n > largeBinomialCutoff {
+		return g.binomialNormal(n, p)
+	}
+	return g.binomialZigzag(n, p)
+}
+
+// binomialNormal approximates Binomial(n, p) for trial counts beyond
+// the zig-zag sampler's numeric range with a clamped rounded normal
+// N(np, np(1-p)) via Box–Muller — two uniforms, a pure function of the
+// generator state. At n > 2^36 with np(1-p) > smallBinomialCutoff the
+// distributional error is far below anything a graph statistic can
+// observe.
+func (g *Xoshiro256) binomialNormal(n int64, p float64) int64 {
+	u1 := 1 - g.Float64() // (0, 1]: keeps the log finite
+	u2 := g.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	k := math.Round(float64(n)*p + math.Sqrt(float64(n)*p*(1-p))*z)
+	if k < 0 {
+		return 0
+	}
+	if k > float64(n) {
+		return n
+	}
+	return int64(k)
+}
+
+// binomialCount counts successes in n trials via geometric skips:
+// O(expected successes) draws. Requires 0 < p <= 0.5.
+func (g *Xoshiro256) binomialCount(n int64, p float64) int64 {
+	var k, t int64
+	t = -1
+	for {
+		t += 1 + g.Geometric(p)
+		if t >= n {
+			return k
+		}
+		k++
+	}
+}
+
+// binomialZigzag samples Binomial(n, p) exactly with one uniform: the
+// pmf is accumulated outward from the mode (mode, mode+1, mode-1, …),
+// each term obtained from its neighbor by the pmf ratio recurrence, and
+// the first prefix sum exceeding U selects the sample. Reordering the
+// pmf does not change the sampled law, and the expected number of terms
+// visited is O(σ) = O(√(np(1-p))).
+func (g *Xoshiro256) binomialZigzag(n int64, p float64) int64 {
+	mode := int64(float64(n+1) * p)
+	if mode > n {
+		mode = n
+	}
+	lgN1, _ := math.Lgamma(float64(n + 1))
+	lgK1, _ := math.Lgamma(float64(mode + 1))
+	lgNK1, _ := math.Lgamma(float64(n - mode + 1))
+	pMode := math.Exp(lgN1 - lgK1 - lgNK1 +
+		float64(mode)*math.Log(p) + float64(n-mode)*math.Log1p(-p))
+	u := g.Float64()
+	acc := pMode
+	if u < acc {
+		return mode
+	}
+	ratioUp := p / (1 - p)
+	down, up := mode, mode
+	pDown, pUp := pMode, pMode
+	for down > 0 || up < n {
+		if up < n {
+			pUp *= float64(n-up) / float64(up+1) * ratioUp
+			up++
+			acc += pUp
+			if u < acc {
+				return up
+			}
+		}
+		if down > 0 {
+			pDown *= float64(down) / float64(n-down+1) / ratioUp
+			down--
+			acc += pDown
+			if u < acc {
+				return down
+			}
+		}
+	}
+	// The pmf sums to 1 up to rounding; an astronomically unlucky u in
+	// the lost tail mass lands on the mode deterministically.
+	return mode
+}
+
+// NewStream2 returns a generator for a two-level logical stream id, the
+// nested analogue of NewStream: first the namespace id (e.g. a model- or
+// purpose-specific salt), then the element id (e.g. a chunk index or a
+// splitting-tree node). Distinct (namespace, id) pairs yield independent
+// streams; the derivation is a pure function of its arguments, which is
+// what lets any worker recompute any stream with no communication.
+func NewStream2(seed, namespace, id uint64) *Xoshiro256 {
+	h := Mix64(seed ^ (namespace * 0x9e3779b97f4a7c15) + 0x2545f4914f6cdd1d)
+	return New(Mix64(h ^ (id * 0x9e3779b97f4a7c15) + 0x2545f4914f6cdd1d))
+}

@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometricBasics(t *testing.T) {
+	g := New(3)
+	if got := g.Geometric(1); got != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", got)
+	}
+	if got := g.Geometric(1.5); got != 0 {
+		t.Fatalf("Geometric(1.5) = %d, want 0", got)
+	}
+	for i := 0; i < 10000; i++ {
+		if v := g.Geometric(0.3); v < 0 {
+			t.Fatalf("Geometric(0.3) = %d < 0", v)
+		}
+	}
+	// A vanishing p with an unlucky uniform must cap, not overflow.
+	for i := 0; i < 100; i++ {
+		if v := g.Geometric(1e-300); v < 0 || v > maxGeometric {
+			t.Fatalf("Geometric(1e-300) = %d out of [0, cap]", v)
+		}
+	}
+}
+
+func TestGeometricPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	// E[Geometric(p)] = (1-p)/p.
+	g := New(11)
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(g.Geometric(p))
+		}
+		mean := sum / trials
+		want := (1 - p) / p
+		sd := math.Sqrt((1-p)/(p*p)) / math.Sqrt(trials)
+		if math.Abs(mean-want) > 6*sd {
+			t.Errorf("p=%v: mean = %.3f, want %.3f ± %.3f", p, mean, want, 6*sd)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	g := New(7)
+	if got := g.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := g.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := g.Binomial(10, -1); got != 0 {
+		t.Errorf("Binomial(10, -1) = %d", got)
+	}
+	if got := g.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	if got := g.Binomial(10, 2); got != 10 {
+		t.Errorf("Binomial(10, 2) = %d", got)
+	}
+	for i := 0; i < 5000; i++ {
+		if v := g.Binomial(20, 0.3); v < 0 || v > 20 {
+			t.Fatalf("Binomial(20, .3) = %d out of range", v)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	g := New(19)
+	for _, tc := range []struct {
+		n int64
+		p float64
+	}{{100, 0.02}, {1000, 0.5}, {50, 0.9}} {
+		const trials = 4000
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			v := float64(g.Binomial(tc.n, tc.p))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		wantMean := float64(tc.n) * tc.p
+		wantVar := float64(tc.n) * tc.p * (1 - tc.p)
+		seMean := math.Sqrt(wantVar / trials)
+		if math.Abs(mean-wantMean) > 6*seMean {
+			t.Errorf("Binomial(%d, %v): mean = %.2f, want %.2f ± %.2f",
+				tc.n, tc.p, mean, wantMean, 6*seMean)
+		}
+		variance := sumSq/trials - mean*mean
+		if variance < wantVar*0.8 || variance > wantVar*1.2 {
+			t.Errorf("Binomial(%d, %v): var = %.2f, want ≈ %.2f",
+				tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialDeterministic(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 200; i++ {
+		if va, vb := a.Binomial(1000, 0.37), b.Binomial(1000, 0.37); va != vb {
+			t.Fatalf("draw %d: %d != %d with equal states", i, va, vb)
+		}
+	}
+}
+
+func TestNewStream2Independence(t *testing.T) {
+	// Distinct namespaces and distinct ids must both separate streams;
+	// equal triples must reproduce.
+	pairs := [][2]*Xoshiro256{
+		{NewStream2(7, 1, 0), NewStream2(7, 1, 1)},
+		{NewStream2(7, 1, 0), NewStream2(7, 2, 0)},
+		{NewStream2(7, 1, 3), NewStream2(8, 1, 3)},
+	}
+	for pi, pr := range pairs {
+		same := 0
+		for i := 0; i < 100; i++ {
+			if pr[0].Uint64() == pr[1].Uint64() {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Errorf("pair %d: %d/100 identical outputs", pi, same)
+		}
+	}
+	a, b := NewStream2(42, 9, 9), NewStream2(42, 9, 9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("equal stream ids diverged at step %d", i)
+		}
+	}
+	// A two-level id must not collapse onto the one-level derivation with
+	// the same trailing id (the namespaces are separate).
+	c, d := NewStream2(42, 0, 5), NewStream(42, 5)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("NewStream2(seed,0,id) collides with NewStream(seed,id): %d/100", same)
+	}
+}
+
+// TestBinomialHugeN pins the large-n regression: beyond the zig-zag
+// sampler's numeric range the clamped normal branch must return
+// instantly (the naive pmf sweep degenerated to O(n) there) with the
+// right mean.
+func TestBinomialHugeN(t *testing.T) {
+	g := New(42)
+	const huge = int64(1_000_000_000_000_000)
+	for i := 0; i < 50; i++ {
+		if v := g.Binomial(huge, 0.5); v < 0 || v > huge {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	var sum float64
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		sum += float64(g.Binomial(1<<40, 0.25))
+	}
+	mean := sum / trials
+	want := 0.25 * float64(int64(1)<<40)
+	if mean < want*0.999 || mean > want*1.001 {
+		t.Fatalf("huge-n mean %.0f, want ≈ %.0f", mean, want)
+	}
+}

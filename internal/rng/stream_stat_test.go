@@ -1,0 +1,127 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// TestNewStreamBitCorrelation is the statistical smoke test for the
+// communication-free sharding contract: generators derived from the same
+// seed but different shard ids must look pairwise independent. For
+// independent uniform streams, the XOR of paired outputs is itself
+// uniform, so across N draws the total popcount of the XORs is
+// Binomial(64N, 1/2). Seeds are fixed, so the test is deterministic.
+func TestNewStreamBitCorrelation(t *testing.T) {
+	ids := []uint64{0, 1, 2, 3, 17, 1 << 20, 1 << 40}
+	const draws = 4096
+	outs := make([][]uint64, len(ids))
+	for i, id := range ids {
+		g := NewStream(99, id)
+		outs[i] = make([]uint64, draws)
+		for k := range outs[i] {
+			outs[i][k] = g.Uint64()
+		}
+	}
+	nBits := float64(64 * draws)
+	sigma := math.Sqrt(nBits / 4)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			var diff int64
+			for k := 0; k < draws; k++ {
+				diff += int64(bits.OnesCount64(outs[i][k] ^ outs[j][k]))
+			}
+			dev := math.Abs(float64(diff) - nBits/2)
+			if dev > 6*sigma {
+				t.Errorf("streams %d and %d: differing-bit count %d deviates %.1fσ from %d",
+					ids[i], ids[j], diff, dev/sigma, int64(nBits/2))
+			}
+		}
+	}
+}
+
+// TestNewStreamChiSquare checks per-stream uniformity of the low byte
+// over a few thousand draws with a chi-square statistic: 256 cells,
+// 255 degrees of freedom, mean 255 and variance 510 under uniformity.
+func TestNewStreamChiSquare(t *testing.T) {
+	const draws = 8192
+	const cells = 256
+	expected := float64(draws) / cells
+	for _, id := range []uint64{0, 1, 5, 1 << 33} {
+		g := NewStream(1234, id)
+		var counts [cells]int
+		for i := 0; i < draws; i++ {
+			counts[g.Uint64()&0xff]++
+		}
+		var chi2 float64
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 255 ± 6·sqrt(510): far beyond any plausible uniform sample.
+		if limit := 255 + 6*math.Sqrt(510); chi2 > limit {
+			t.Errorf("stream %d: chi-square = %.1f > %.1f", id, chi2, limit)
+		}
+	}
+}
+
+// TestJumpIsLinear verifies the jump's defining algebraic property: the
+// xoshiro state transition is linear over GF(2) and Jump applies a fixed
+// polynomial in it, so Jump(x ⊕ y) = Jump(x) ⊕ Jump(y) for any states
+// x, y. A wrong jump polynomial table or a broken accumulation loop
+// cannot satisfy this for random states while also moving the state.
+func TestJumpIsLinear(t *testing.T) {
+	sm := NewSplitMix64(2024)
+	for trial := 0; trial < 20; trial++ {
+		var x, y, z Xoshiro256
+		for i := 0; i < 4; i++ {
+			x.s[i] = sm.Next()
+			y.s[i] = sm.Next()
+			z.s[i] = x.s[i] ^ y.s[i]
+		}
+		x.Jump()
+		y.Jump()
+		z.Jump()
+		for i := 0; i < 4; i++ {
+			if z.s[i] != x.s[i]^y.s[i] {
+				t.Fatalf("trial %d: Jump(x^y).s[%d] != Jump(x).s[%d] ^ Jump(y).s[%d]", trial, i, i, i)
+			}
+		}
+	}
+}
+
+// TestJumpSubsequencesDisjoint checks that the pre- and post-jump
+// subsequences of one seed do not collide over a window far larger than
+// any test run uses, and that jumping is deterministic and progressive
+// (two jumps land somewhere new).
+func TestJumpSubsequencesDisjoint(t *testing.T) {
+	const window = 4096
+	base := New(77)
+	jumped := New(77)
+	jumped.Jump()
+	seen := make(map[uint64]struct{}, window)
+	for i := 0; i < window; i++ {
+		seen[base.Uint64()] = struct{}{}
+	}
+	for i := 0; i < window; i++ {
+		if _, dup := seen[jumped.Uint64()]; dup {
+			t.Fatalf("jumped stream revisited a pre-jump value at step %d", i)
+		}
+	}
+
+	j1, j2 := New(77), New(77)
+	j1.Jump()
+	j2.Jump()
+	if j1.s != j2.s {
+		t.Fatal("Jump is not deterministic")
+	}
+	j2.Jump()
+	if j1.s == j2.s {
+		t.Fatal("second Jump did not move the state")
+	}
+	for i := 0; i < 100; i++ {
+		if j1.Uint64() == j2.Uint64() {
+			t.Fatalf("single- and double-jumped streams agree at step %d", i)
+		}
+	}
+}

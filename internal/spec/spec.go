@@ -6,103 +6,55 @@
 //	jclique:n=5                         J_5 (clique + all self loops)
 //	hubcycle:c=4                        Ex. 2 graph
 //	cycle:n=9 | path:n=9 | star:n=9
-//	er:n=200,p=0.1,seed=1               Erdős–Rényi
+//	er:n=200,p=0.1,seed=1               Erdős–Rényi G(n, p)
+//	gnm:n=200,m=1000,seed=1             uniform G(n, m) (exact edge count)
 //	ba:n=1000,m=3,seed=1                Barabási–Albert
 //	pa1:n=500,seed=1                    §III.D(b) Δ≤1 generator
 //	rmat:scale=10,edges=16384,seed=1    R-MAT (defaults to Graph500 parameters)
 //	file:path=edges.tsv,n=100           TSV edge list (symmetrized)
 //
 // A trailing "+loops" adds a self loop at every vertex (B = A + I).
+// Unknown parameter keys are rejected — before any generation work is
+// spent — so a typo cannot silently fall back to a default; the grammar
+// itself is shared with the random-model registry via internal/params.
 package spec
 
 import (
 	"fmt"
+	"math"
 	"os"
-	"strconv"
 	"strings"
 
 	"kronvalid/internal/gen"
 	"kronvalid/internal/gio"
 	"kronvalid/internal/graph"
+	"kronvalid/internal/model"
+	"kronvalid/internal/params"
 )
 
-type params map[string]string
-
-func (p params) int(key string, def int) (int, error) {
-	s, ok := p[key]
-	if !ok {
-		if def < 0 {
-			return 0, fmt.Errorf("spec: missing required parameter %q", key)
-		}
-		return def, nil
-	}
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, fmt.Errorf("spec: parameter %q: %v", key, err)
-	}
-	return v, nil
-}
-
-func (p params) int64(key string, def int64) (int64, error) {
-	s, ok := p[key]
-	if !ok {
-		if def < 0 {
-			return 0, fmt.Errorf("spec: missing required parameter %q", key)
-		}
-		return def, nil
-	}
-	v, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("spec: parameter %q: %v", key, err)
-	}
-	return v, nil
-}
-
-func (p params) float(key string, def float64) (float64, error) {
-	s, ok := p[key]
-	if !ok {
-		return def, nil
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("spec: parameter %q: %v", key, err)
-	}
-	return v, nil
-}
-
-func (p params) seed() (uint64, error) {
-	s, ok := p["seed"]
-	if !ok {
-		return 1, nil
-	}
-	v, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("spec: parameter \"seed\": %v", err)
-	}
-	return v, nil
-}
-
-// Parse builds a factor graph from a specification string.
+// Parse builds a factor graph from a specification string. Parameters
+// are read and validated in full (including unknown-key rejection)
+// before the generator runs, so malformed specs fail fast.
 func Parse(s string) (*graph.Graph, error) {
 	addLoops := false
 	if strings.HasSuffix(s, "+loops") {
 		addLoops = true
 		s = strings.TrimSuffix(s, "+loops")
 	}
-	kind, rest, _ := strings.Cut(s, ":")
-	p := params{}
-	if rest != "" {
-		for _, kv := range strings.Split(rest, ",") {
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return nil, fmt.Errorf("spec: malformed parameter %q", kv)
-			}
-			p[k] = v
-		}
-	}
-	g, err := build(kind, p)
+	kind, p, err := params.Parse(s)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	mk, err := builder(kind, p)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	if err := p.CheckUnused(kind); err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	g, err := mk()
+	if err != nil {
+		return nil, specErr(err)
 	}
 	if addLoops {
 		g = g.WithAllLoops()
@@ -110,129 +62,176 @@ func Parse(s string) (*graph.Graph, error) {
 	return g, nil
 }
 
-func build(kind string, p params) (*graph.Graph, error) {
-	seed, err := p.seed()
+// specErr prefixes parameter-layer errors with the package the user
+// typed at, without double-prefixing errors that already carry it.
+func specErr(err error) error {
+	if strings.HasPrefix(err.Error(), "spec: ") {
+		return err
+	}
+	return fmt.Errorf("spec: %v", err)
+}
+
+// boundedVertexCount reads a required "n" destined for an explicit
+// int32 factor graph, turning out-of-range values into spec errors at
+// the CLI boundary (the gen constructors panic, per their contract).
+func boundedVertexCount(p *params.Params) (int, error) {
+	n, err := p.Int64("n", -1)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > math.MaxInt32 {
+		return 0, fmt.Errorf("spec: vertex count %d out of [0, %d]", n, math.MaxInt32)
+	}
+	return int(n), nil
+}
+
+// maker defers the (possibly expensive) generation until every
+// parameter of the spec has been validated.
+type maker func() (*graph.Graph, error)
+
+func builder(kind string, p *params.Params) (maker, error) {
+	seed, err := p.Seed()
 	if err != nil {
 		return nil, err
 	}
 	switch kind {
 	case "clique":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.Clique(n), nil
+		return func() (*graph.Graph, error) { return gen.Clique(n), nil }, nil
 	case "jclique":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.CliqueWithLoops(n), nil
+		return func() (*graph.Graph, error) { return gen.CliqueWithLoops(n), nil }, nil
 	case "hubcycle":
-		c, err := p.int("c", 4)
+		c, err := p.Int("c", 4)
 		if err != nil {
 			return nil, err
 		}
-		return gen.HubCycle(c), nil
+		return func() (*graph.Graph, error) { return gen.HubCycle(c), nil }, nil
 	case "cycle":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.Cycle(n), nil
+		return func() (*graph.Graph, error) { return gen.Cycle(n), nil }, nil
 	case "path":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.Path(n), nil
+		return func() (*graph.Graph, error) { return gen.Path(n), nil }, nil
 	case "star":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.Star(n), nil
+		return func() (*graph.Graph, error) { return gen.Star(n), nil }, nil
 	case "er":
-		n, err := p.int("n", -1)
+		n, err := boundedVertexCount(p)
 		if err != nil {
 			return nil, err
 		}
-		prob, err := p.float("p", 0.1)
+		prob, err := p.Float("p", 0.1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.ErdosRenyi(n, prob, seed), nil
+		return func() (*graph.Graph, error) { return gen.ErdosRenyi(n, prob, seed), nil }, nil
+	case "gnm":
+		n, err := boundedVertexCount(p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := p.Int64("m", -1)
+		if err != nil {
+			return nil, err
+		}
+		// n is bounded by MaxInt32, so the pair count cannot overflow.
+		maxPairs := int64(n) * int64(n-1) / 2
+		if m < 0 || m > maxPairs {
+			return nil, fmt.Errorf("spec: gnm edge count %d out of [0, %d]", m, maxPairs)
+		}
+		return func() (*graph.Graph, error) { return gen.GNMErr(n, m, seed) }, nil
 	case "ba":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		m, err := p.int("m", 3)
+		m, err := p.Int("m", 3)
 		if err != nil {
 			return nil, err
 		}
-		return gen.BarabasiAlbert(n, m, seed), nil
+		return func() (*graph.Graph, error) { return gen.BarabasiAlbert(n, m, seed), nil }, nil
 	case "web":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		m, err := p.int("m", 3)
+		m, err := p.Int("m", 3)
 		if err != nil {
 			return nil, err
 		}
-		pt, err := p.float("pt", 0.7)
+		pt, err := p.Float("pt", 0.7)
 		if err != nil {
 			return nil, err
 		}
-		return gen.WebGraph(n, m, pt, seed), nil
+		return func() (*graph.Graph, error) { return gen.WebGraph(n, m, pt, seed), nil }, nil
 	case "pa1":
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		return gen.TriangleLimitedPA(n, seed), nil
+		return func() (*graph.Graph, error) { return gen.TriangleLimitedPA(n, seed), nil }, nil
 	case "rmat":
-		scale, err := p.int("scale", -1)
+		scale, err := p.Int("scale", -1)
 		if err != nil {
 			return nil, err
 		}
-		edges, err := p.int64("edges", 16<<uint(scale))
+		a, err := p.Float("a", 0.57)
 		if err != nil {
 			return nil, err
 		}
-		a, err := p.float("a", 0.57)
+		b, err := p.Float("b", 0.19)
 		if err != nil {
 			return nil, err
 		}
-		b, err := p.float("b", 0.19)
+		c, err := p.Float("c", 0.19)
 		if err != nil {
 			return nil, err
 		}
-		c, err := p.float("c", 0.19)
+		d, err := p.Float("d", 0.05)
 		if err != nil {
 			return nil, err
 		}
-		d, err := p.float("d", 0.05)
+		// The default edge budget is clamped to what the streamed core
+		// accepts for these probabilities, exactly as the model registry
+		// does — omitting edges= must never fail.
+		edges, err := p.Int64("edges", model.DefaultRMATEdges(scale, a, b, c, d, 0))
 		if err != nil {
 			return nil, err
 		}
-		return gen.RMAT(scale, edges, a, b, c, d, seed), nil
+		return func() (*graph.Graph, error) { return gen.RMATErr(scale, edges, a, b, c, d, seed) }, nil
 	case "file":
-		path, ok := p["path"]
+		path, ok := p.String("path")
 		if !ok {
 			return nil, fmt.Errorf("spec: file requires path=")
 		}
-		n, err := p.int("n", -1)
+		n, err := p.Int("n", -1)
 		if err != nil {
 			return nil, err
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return gio.ReadEdgeList(f, n, true)
+		return func() (*graph.Graph, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return gio.ReadEdgeList(f, n, true)
+		}, nil
 	default:
 		return nil, fmt.Errorf("spec: unknown generator kind %q", kind)
 	}

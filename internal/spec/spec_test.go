@@ -114,3 +114,55 @@ func TestParseLoopsSuffixOnRandom(t *testing.T) {
 		t.Errorf("loops = %d, want 20", g.NumLoops())
 	}
 }
+
+func TestParseRejectsUnknownKeys(t *testing.T) {
+	for _, s := range []string{
+		"er:n=10,pp=0.5", // typo'd probability must not silently default
+		"clique:n=5,m=3",
+		"rmat:scale=5,scle=6",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("%q: unknown key accepted", s)
+		}
+	}
+}
+
+func TestParseOutOfRangeRandomParams(t *testing.T) {
+	// The seed implementation accepted any ER probability, acting as its
+	// clamp into [0, 1]; the streamed adapter must preserve that.
+	g, err := Parse("er:n=20,p=1.5,seed=1")
+	if err != nil {
+		t.Fatalf("p > 1: %v", err)
+	}
+	if got, want := g.NumEdgesUndirected(), int64(20*19/2); got != want {
+		t.Errorf("p>1 edges = %d, want complete %d", got, want)
+	}
+	g, err = Parse("er:n=20,p=-1,seed=1")
+	if err != nil {
+		t.Fatalf("p < 0: %v", err)
+	}
+	if got := g.NumEdgesUndirected(); got != 0 {
+		t.Errorf("p<0 edges = %d, want 0", got)
+	}
+	// G(n, m) out of range is a spec error, not a process crash.
+	if _, err := Parse("gnm:n=10,m=1000"); err == nil {
+		t.Error("gnm m > pairs accepted")
+	}
+	if _, err := Parse("gnm:n=10,m=-1"); err == nil {
+		t.Error("gnm negative m accepted")
+	}
+}
+
+func TestParseCapacityErrorsNotPanics(t *testing.T) {
+	// Model capacity limits reachable from validated spec input must
+	// surface as spec errors, never process panics.
+	for _, s := range []string{
+		"gnm:n=300000,m=9000000000",       // within pair range, past the chunk budget
+		"rmat:scale=30,edges=68719476736", // past the per-chunk buffer cap
+	} {
+		g, err := Parse(s)
+		if err == nil {
+			t.Errorf("%q: expected a capacity error, got a %d-vertex graph", s, g.NumVertices())
+		}
+	}
+}

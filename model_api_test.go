@@ -1,0 +1,154 @@
+package kronvalid
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelKindsRegistered(t *testing.T) {
+	kinds := ModelKinds()
+	want := map[string]bool{"er": false, "gnm": false, "rmat": false, "chunglu": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("model kind %q not registered (have %v)", k, kinds)
+		}
+	}
+}
+
+// TestStreamModelDeterministicAcrossWorkerCounts is the acceptance
+// invariant at the public surface: for every model kind, the serialized
+// stream is byte-identical across P ∈ {1, 2, 4, 8} and feeds the
+// one-pass CSR sink directly.
+func TestStreamModelDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, spec := range []string{
+		"er:n=3000,p=0.003,seed=42",
+		"gnm:n=2000,m=12000,seed=6",
+		"rmat:scale=11,edges=20000,seed=3",
+		"chunglu:n=2500,dmax=50,seed=8",
+	} {
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatalf("NewGenerator(%q): %v", spec, err)
+		}
+		var want []byte
+		for _, p := range []int{1, 2, 4, 8} {
+			var buf bytes.Buffer
+			n, err := StreamModel(g, StreamOptions{Workers: p}, NewBinaryArcSink(&buf))
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", spec, p, err)
+			}
+			if n == 0 {
+				t.Fatalf("%s: empty stream", spec)
+			}
+			if want == nil {
+				want = buf.Bytes()
+			} else if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s: stream bytes differ at P=%d", spec, p)
+			}
+		}
+		// Exact-count models must match their declared total.
+		if exact := g.NumArcs(); exact >= 0 && int64(len(want))/16 != exact {
+			t.Errorf("%s: stream has %d arcs, model declares %d", spec, len(want)/16, exact)
+		}
+	}
+}
+
+// TestModelCSRPathsDigestIdentical checks the two materialization paths
+// agree for every model and worker count — the ingestion counterpart of
+// stream byte-identity.
+func TestModelCSRPathsDigestIdentical(t *testing.T) {
+	g, err := NewGenerator("rmat:scale=10,edges=16384,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := StreamModelToCSR(g, StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CSRDigest(base)
+	for _, p := range []int{1, 4, 8} {
+		one, err := StreamModelToCSR(g, StreamOptions{Workers: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := BuildModelCSR(g, StreamOptions{Workers: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := CSRDigest(one); d != want {
+			t.Errorf("P=%d: one-pass digest %s != %s", p, d, want)
+		}
+		if d := CSRDigest(two); d != want {
+			t.Errorf("P=%d: two-pass digest %s != %s", p, d, want)
+		}
+	}
+}
+
+// TestWriteShardedModelRoundTrip writes a sharded model directory and
+// checks manifest identity, per-shard counts, and that the concatenated
+// shard files reproduce the canonical stream bytes.
+func TestWriteShardedModelRoundTrip(t *testing.T) {
+	g, err := NewGenerator("gnm:n=1200,m=9000,seed=77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m, err := WriteShardedModel(dir, g, 4, WriteShardedOptions{Binary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Model != g.Name() {
+		t.Errorf("manifest model %q != generator name %q", m.Model, g.Name())
+	}
+	if m.TotalArcs != 9000 {
+		t.Errorf("manifest total arcs = %d, want 9000", m.TotalArcs)
+	}
+	back, err := ReadShardManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != m.Model || back.TotalArcs != m.TotalArcs {
+		t.Error("re-read manifest differs")
+	}
+	var cat bytes.Buffer
+	for _, s := range m.Shards {
+		b, err := os.ReadFile(filepath.Join(dir, s.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.Write(b)
+	}
+	var want bytes.Buffer
+	if _, err := StreamModel(g, StreamOptions{Workers: 1}, NewBinaryArcSink(&want)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cat.Bytes(), want.Bytes()) {
+		t.Error("concatenated shard files differ from the canonical stream")
+	}
+	// The regenerated spec must reproduce the same stream.
+	g2, err := NewGenerator(back.Model)
+	if err != nil {
+		t.Fatalf("NewGenerator(manifest model): %v", err)
+	}
+	var again bytes.Buffer
+	if _, err := StreamModel(g2, StreamOptions{Workers: 3}, NewBinaryArcSink(&again)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want.Bytes()) {
+		t.Error("manifest spec did not reproduce the stream")
+	}
+}
+
+func TestGNMPublicAPI(t *testing.T) {
+	g := GNM(150, 900, 5)
+	if g.NumEdgesUndirected() != 900 {
+		t.Fatalf("GNM edges = %d, want 900", g.NumEdgesUndirected())
+	}
+}
