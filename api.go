@@ -69,9 +69,20 @@ func ErdosRenyi(n int, p float64, seed uint64) *Graph { return gen.ErdosRenyi(n,
 // GNM returns G(n, m) — exactly m distinct edges — deterministic in seed.
 func GNM(n int, m int64, seed uint64) *Graph { return gen.GNM(n, m, seed) }
 
-// BarabasiAlbert returns an n-vertex preferential-attachment graph with m
-// edges per arrival.
+// BarabasiAlbert returns an n-vertex preferential-attachment graph with
+// up to m edges per arrival, built on the communication-free retracing
+// core (model kind "ba") — the explicit-graph adapter of the streamed
+// generator.
 func BarabasiAlbert(n, m int, seed uint64) *Graph { return gen.BarabasiAlbert(n, m, seed) }
+
+// RGG2D returns the random geometric graph on the unit square: n uniform
+// points, an edge for every pair within Euclidean distance r. The
+// explicit-graph adapter of the streamed cell-grid generator (model kind
+// "rgg2d").
+func RGG2D(n int64, r float64, seed uint64) (*Graph, error) { return gen.RGG2D(n, r, seed) }
+
+// RGG3D is RGG2D on the unit cube (model kind "rgg3d").
+func RGG3D(n int64, r float64, seed uint64) (*Graph, error) { return gen.RGG3D(n, r, seed) }
 
 // WebGraph returns a scale-free graph with triad closure (probability pt
 // per attachment): the offline stand-in for the paper's web-NotreDame
@@ -405,11 +416,14 @@ func ReadShardManifest(dir string) (*ShardManifest, error) { return distgen.Read
 // ---- model-agnostic random-model generation ----
 
 // ModelGenerator is a registered random graph model expressed as a
-// communication-free sharded arc stream: randomness lives in fixed
-// chunks any worker regenerates from (seed, chunk) alone, so the
-// concatenated stream is byte-identical for every worker count — the
-// same invariant the Kronecker pipeline has, extended to Erdős–Rényi,
-// G(n, m), R-MAT and Chung–Lu.
+// communication-free sharded arc stream in the two-phase
+// Sample/Enumerate shape: raw randomness lives in cells any worker
+// regenerates from (seed, cell) alone, and chunk enumeration may
+// recompute foreign cells (rgg neighbor grids) or retrace per-edge
+// hash chains (ba) instead of communicating, so the concatenated
+// stream is byte-identical for every worker count — the same invariant
+// the Kronecker pipeline has, extended to Erdős–Rényi, G(n, m), R-MAT,
+// Chung–Lu, random geometric graphs (2D/3D) and Barabási–Albert.
 type ModelGenerator = model.Generator
 
 // ModelPlan groups a model's randomness chunks into contiguous shards
@@ -417,8 +431,10 @@ type ModelGenerator = model.Generator
 type ModelPlan = model.Plan
 
 // NewGenerator builds a model generator from a spec string, e.g.
-// "er:n=100000,p=0.001,seed=42" or "rmat:scale=20,edges=16777216".
-// Every generator's Name() is a spec that reproduces its exact stream.
+// "er:n=100000,p=0.001,seed=42", "rgg2d:n=100000,r=0.005" or
+// "ba:n=100000,d=4" (the KaGen-style "rgg2d(n=100000;r=0.005)" form is
+// accepted as an alias). Every generator's Name() is a spec that
+// reproduces its exact stream.
 func NewGenerator(spec string) (ModelGenerator, error) { return model.New(spec) }
 
 // ModelKinds lists the registered model kinds.

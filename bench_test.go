@@ -672,8 +672,11 @@ func BenchmarkSampledValidation(b *testing.B) {
 // the acceptance workload (ER n=10^5, p=10^-3, ≈5·10^6 edges): the
 // sharded streaming core versus the seed's O(n²) Bernoulli sweep
 // (reproduced inline as the true legacy baseline), plus the streamed
-// G(n,m), R-MAT and Chung–Lu cores at a comparable edge scale.
-// Throughput is bytes of emitted arcs (16 B/arc).
+// G(n,m), R-MAT and Chung–Lu cores at a comparable edge scale, and the
+// cross-chunk-dependent cores — rgg2d (neighbor-cell recomputation) and
+// ba (per-edge retracing) — at the acceptance parameters
+// (n=10^5, r=0.005 / d=4). Throughput is bytes of emitted arcs
+// (16 B/arc).
 func BenchmarkModelStream(b *testing.B) {
 	const erN, erP, erSeed = 100_000, 0.001, 42
 
@@ -737,6 +740,20 @@ func BenchmarkModelStream(b *testing.B) {
 	})
 	b.Run("chunglu-stream", func(b *testing.B) {
 		g, err := NewGenerator("chunglu:n=100000,dmax=1000,gamma=2.1,seed=42")
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamCount(b, g)
+	})
+	b.Run("rgg2d-stream", func(b *testing.B) {
+		g, err := model.NewRGG(100_000, 0.005, 2, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamCount(b, g)
+	})
+	b.Run("ba-stream", func(b *testing.B) {
+		g, err := model.NewBarabasiAlbert(100_000, 4, 0, erSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

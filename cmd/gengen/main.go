@@ -1,22 +1,30 @@
 // Gengen streams or shards the edge list of any registered random graph
-// model (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu) through the
-// communication-free batched pipeline: randomness lives in fixed chunks
-// derived from (seed, chunk id), so output is bitwise identical for any
-// worker count — the model-agnostic counterpart of krongen.
+// model (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu, random geometric 2D/3D,
+// Barabási–Albert) through the communication-free batched pipeline:
+// randomness lives in cells derived from (seed, cell id) — pair-range
+// chunks, geometric grid cells, or per-edge hash positions — so output
+// is bitwise identical for any worker count, even for the models with
+// cross-chunk dependence (rgg regenerates neighbor cells, ba retraces
+// per-edge dependency chains). The model-agnostic counterpart of
+// krongen.
 //
 // Usage:
 //
 //	gengen -model 'er:n=100000,p=0.001,seed=42' > edges.tsv
 //	gengen -model 'rmat:scale=16,seed=7' -shards 8 -out dir/       # shard files + manifest.json
 //	gengen -model 'gnm:n=100000,m=1000000' -shards 8 -out dir/ -binary
+//	gengen -model 'rgg2d:n=100000,r=0.005' -shards 8 -out dir/     # spatial, cell-grid sharded
+//	gengen -model 'ba(n=100000;d=4)' -shards 8 -out dir/           # KaGen-style spec alias
 //	gengen -model 'chunglu:n=100000,dmax=300' -csr graph.csr       # two-pass parallel CSR build
 //	gengen -model 'er:n=100000,p=0.001' -count                     # sizes only
-//	gengen -kinds                                                  # list registered models
+//	gengen -kinds                                                  # list registered models (sorted)
 //
-// Spec grammar: kind:key=value,key=value,…  Every model takes seed
-// (default 1) and chunks (the randomness granularity, default 64; part
-// of the stream identity). See the package documentation of
-// internal/model for per-model parameters and sharding schemes.
+// Spec grammar: kind:key=value,key=value,… (or kind(key=value;…)).
+// Every model takes seed (default 1) and chunks (the enumeration
+// granularity, default 64; part of the stream identity for er/gnm/
+// rmat/chunglu, grouping-only for rgg2d/rgg3d/ba). See the package
+// documentation of internal/model for per-model parameters and
+// sharding schemes.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"kronvalid"
@@ -41,12 +50,17 @@ func main() {
 	listKinds := flag.Bool("kinds", false, "list registered model kinds and exit")
 	flag.Parse()
 
+	// ModelKinds is sorted, so new kinds surface deterministically in
+	// help text, error messages and CI logs; sort again so no future
+	// registry change can silently reorder them.
+	kinds := kronvalid.ModelKinds()
+	sort.Strings(kinds)
 	if *listKinds {
-		fmt.Println(strings.Join(kronvalid.ModelKinds(), "\n"))
+		fmt.Println(strings.Join(kinds, "\n"))
 		return
 	}
 	if *modelSpec == "" {
-		log.Fatal("-model is required (one of: " + strings.Join(kronvalid.ModelKinds(), ", ") + ")")
+		log.Fatal("-model is required (one of: " + strings.Join(kinds, ", ") + ")")
 	}
 	g, err := kronvalid.NewGenerator(*modelSpec)
 	if err != nil {

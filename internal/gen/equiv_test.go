@@ -112,6 +112,53 @@ func TestChungLuLegacyStreamEquivalence(t *testing.T) {
 	}
 }
 
+func TestBarabasiAlbertLegacyStreamEquivalence(t *testing.T) {
+	const n, m, seed = 800, 3, 11
+	want := gio.GraphDigest(BarabasiAlbert(n, m, seed))
+	mg, err := model.NewBarabasiAlbert(n, m, 0, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := gio.GraphDigest(graphFromArcs(n, streamArcs(t, mg, workers), nil))
+		if got != want {
+			t.Errorf("P=%d: streamed BA digest %s != legacy %s", workers, got, want)
+		}
+	}
+}
+
+// TestRGGByteIdentityAcrossWorkers is the spatial-model counterpart of
+// the legacy-equivalence tests: there is no legacy RGG, so the pin is
+// the serial chunk-by-chunk stream itself — the parallel pipeline must
+// reproduce it arc for arc at P ∈ {1, 2, 8}, neighbor-cell
+// recomputation included.
+func TestRGGByteIdentityAcrossWorkers(t *testing.T) {
+	for _, spec := range []string{
+		"rgg2d:n=2000,r=0.04,seed=3",
+		"rgg3d:n=900,r=0.12,seed=6",
+	} {
+		mg, err := model.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.Collect(mg)
+		if len(want) == 0 {
+			t.Fatalf("%s: empty stream, test is vacuous", spec)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got := streamArcs(t, mg, workers)
+			if len(got) != len(want) {
+				t.Fatalf("%s P=%d: %d arcs, want %d", spec, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s P=%d: arc %d = %v, want %v", spec, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestGNMProperties(t *testing.T) {
 	g := GNM(200, 1500, 3)
 	if !g.IsSymmetric() || g.HasAnyLoop() {

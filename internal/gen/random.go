@@ -86,40 +86,42 @@ func (s smallSet) contains(w int32) bool {
 	return false
 }
 
-// BarabasiAlbert returns the preferential-attachment graph of [35]: each
-// new vertex attaches to m distinct existing vertices chosen with
-// probability proportional to degree. The result is connected and
-// loop-free with a power-law degree tail.
+// BarabasiAlbert returns the preferential-attachment graph of [35]:
+// each new vertex attaches up to m edges to existing vertices chosen
+// with probability proportional to degree, over a star seed graph on
+// m+1 vertices. It adapts the communication-free streamed core
+// (model.BarabasiAlbert), which resolves every edge by retracing its
+// per-position hash chain — the same graph the sharded pipeline emits,
+// loop-free with a power-law degree tail. Duplicate draws are merged
+// (not redrawn), so a vertex can carry slightly fewer than m edges.
 func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
 	if m < 1 || n < m+1 {
 		panic("gen: BarabasiAlbert needs n > m >= 1")
 	}
-	g := rng.New(seed)
-	// targets is the repeated-endpoint list: sampling uniformly from it
-	// is sampling proportional to degree.
-	var targets []int32
-	var edges []graph.Edge
-	// Seed with a star on m+1 vertices so the first arrivals have m
-	// distinct attachment points.
-	for v := 1; v <= m; v++ {
-		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
-		targets = append(targets, 0, int32(v))
+	return fromModel(model.NewBarabasiAlbert(int64(n), int64(m), 0, seed, 0))
+}
+
+// BarabasiAlbertErr is BarabasiAlbert with an error return, for callers
+// handling user-supplied parameters (the spec grammar): the streamed
+// core's range caps surface as errors, never panics.
+func BarabasiAlbertErr(n, m int, seed uint64) (*graph.Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n > m >= 1 (have n=%d, m=%d)", n, m)
 	}
-	order := make(smallSet, 0, m)
-	for v := m + 1; v < n; v++ {
-		order = order[:0]
-		for len(order) < m {
-			w := targets[g.Intn(len(targets))]
-			if !order.contains(w) {
-				order = append(order, w)
-			}
-		}
-		for _, w := range order {
-			edges = append(edges, graph.Edge{U: int32(v), V: w})
-			targets = append(targets, int32(v), w)
-		}
-	}
-	return graph.FromEdges(n, edges, true)
+	return collectModel(model.NewBarabasiAlbert(int64(n), int64(m), 0, seed, 0))
+}
+
+// RGG2D returns the random geometric graph on the unit square: n
+// uniform points, an edge for every pair at distance <= r. It adapts
+// the streamed cell-grid core; spec-boundary callers get errors, not
+// panics.
+func RGG2D(n int64, r float64, seed uint64) (*graph.Graph, error) {
+	return collectModel(model.NewRGG(n, r, 2, seed, 0))
+}
+
+// RGG3D is RGG2D on the unit cube.
+func RGG3D(n int64, r float64, seed uint64) (*graph.Graph, error) {
+	return collectModel(model.NewRGG(n, r, 3, seed, 0))
 }
 
 // WebGraph is the offline stand-in for the paper's web-NotreDame input: a

@@ -1,0 +1,210 @@
+package model
+
+import (
+	"testing"
+
+	"kronvalid/internal/stream"
+)
+
+// sequentialBA runs the Batagelj–Brandes process literally — the full
+// endpoint array in memory, each odd slot copied from the slot its
+// per-position hash draw points at — and post-processes exactly like
+// the chunks do (drop self loops, merge per-vertex duplicates, sort
+// targets). It is the oracle the retracing resolution must match: the
+// chain-chasing resolve() is nothing but a lazy evaluation of this
+// array.
+func sequentialBA(g *BarabasiAlbert) []stream.Arc {
+	se := g.seedEdges()
+	total := se + (g.n-g.s0)*g.d
+	e := make([]int64, 2*total)
+	for j := int64(0); j < se; j++ {
+		e[2*j] = 0
+		e[2*j+1] = j + 1
+	}
+	for p := 2 * se; p < 2*total; p++ {
+		if p%2 == 0 {
+			e[p] = g.s0 + (p/2-se)/g.d
+		} else {
+			e[p] = e[g.posDraw(p)]
+		}
+	}
+	var out []stream.Arc
+	for j := int64(0); j < se; j++ {
+		out = append(out, stream.Arc{U: 0, V: j + 1})
+	}
+	for v := g.s0; v < g.n; v++ {
+		var targets []int64
+		for i := int64(0); i < g.d; i++ {
+			idx := se + (v-g.s0)*g.d + i
+			if w := e[2*idx+1]; w != v {
+				targets = append(targets, w)
+			}
+		}
+		sortInt64(targets)
+		var prev int64 = -1
+		for _, w := range targets {
+			if w != prev {
+				out = append(out, stream.Arc{U: v, V: w})
+				prev = w
+			}
+		}
+	}
+	return out
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestBARetracingMatchesSequentialProcess is the paper's correctness
+// argument made executable: resolving every edge by chasing its
+// dependency chain through the per-position hash streams must
+// reproduce, arc for arc, the sequential array process those streams
+// define.
+func TestBARetracingMatchesSequentialProcess(t *testing.T) {
+	for _, tc := range []struct {
+		n, d, s0 int64
+		chunks   int
+	}{
+		{800, 3, 0, 0},
+		{500, 1, 0, 4},
+		{300, 8, 0, 8},
+		{400, 2, 10, 5}, // non-default seed star
+	} {
+		g, err := NewBarabasiAlbert(tc.n, tc.d, tc.s0, 21, tc.chunks)
+		if err != nil {
+			t.Fatalf("NewBarabasiAlbert(%v): %v", tc, err)
+		}
+		want := sequentialBA(g)
+		got := Collect(g)
+		if len(want) == 0 {
+			t.Fatalf("%s: oracle stream empty", g.Name())
+		}
+		if !sameArcs(want, got) {
+			t.Errorf("%s: retraced stream (%d arcs) != sequential process (%d arcs)", g.Name(), len(got), len(want))
+		}
+	}
+}
+
+// TestBAChunkCountDoesNotChangeStream pins that for ba — as for rgg —
+// the chunk count only groups vertices: every draw is keyed by an edge
+// position, so regrouping must not change a byte.
+func TestBAChunkCountDoesNotChangeStream(t *testing.T) {
+	base, err := NewBarabasiAlbert(1500, 4, 0, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Collect(base)
+	for _, chunks := range []int{1, 8, 64, 1000} {
+		g, err := NewBarabasiAlbert(1500, 4, 0, 9, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameArcs(want, Collect(g)) {
+			t.Errorf("chunks=%d changed the ba stream", chunks)
+		}
+	}
+}
+
+// degreesOf accumulates undirected degrees from an upper/lower-triangle
+// arc stream.
+func degreesOf(n int64, arcs []stream.Arc) []int64 {
+	deg := make([]int64, n)
+	for _, a := range arcs {
+		deg[a.U]++
+		deg[a.V]++
+	}
+	return deg
+}
+
+// TestBAHeavierTailThanER is the power-law satellite: preferential
+// attachment concentrates degree on early vertices, so at the same
+// vertex and edge count the BA maximum degree must dwarf the G(n,m)
+// maximum (which concentrates near the mean).
+func TestBAHeavierTailThanER(t *testing.T) {
+	const n, d, seed = 3000, 4, 5
+	ba, err := NewBarabasiAlbert(n, d, 0, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baArcs := Collect(ba)
+	er, err := NewGnm(n, int64(len(baArcs)), seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erArcs := Collect(er)
+	maxOf := func(deg []int64) int64 {
+		var mx int64
+		for _, x := range deg {
+			if x > mx {
+				mx = x
+			}
+		}
+		return mx
+	}
+	baMax := maxOf(degreesOf(n, baArcs))
+	erMax := maxOf(degreesOf(n, erArcs))
+	if baMax < 2*erMax {
+		t.Errorf("BA max degree %d is not heavier-tailed than G(n,m) max %d at equal m=%d", baMax, erMax, len(baArcs))
+	}
+	// The attachment cap must hold on the other side: no vertex past the
+	// seed graph sources more than d arcs.
+	perSource := map[int64]int64{}
+	for _, a := range baArcs {
+		perSource[a.U]++
+	}
+	for v, cnt := range perSource {
+		if v >= ba.s0 && cnt > d {
+			t.Fatalf("vertex %d sourced %d arcs, cap %d", v, cnt, d)
+		}
+	}
+}
+
+// TestBARejectsOutOfRange pins the spec-boundary validation.
+func TestBARejectsOutOfRange(t *testing.T) {
+	if _, err := NewBarabasiAlbert(10, 0, 0, 1, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewBarabasiAlbert(3, 3, 0, 1, 0); err == nil {
+		t.Error("n < s0 accepted")
+	}
+	if _, err := NewBarabasiAlbert(10, 3, 1, 1, 0); err == nil {
+		t.Error("s0=1 accepted")
+	}
+	if _, err := NewBarabasiAlbert(maxBAVertices+1, 3, 0, 1, 0); err == nil {
+		t.Error("oversized n accepted")
+	}
+	if _, err := New("ba:n=100"); err == nil {
+		t.Error("ba without d accepted")
+	}
+	if _, err := New("ba:n=100,d=3,deg=3"); err == nil {
+		t.Error("unknown ba parameter accepted")
+	}
+	if _, err := New("ba:n=100,d=3,m=4"); err == nil {
+		t.Error("disagreeing d/m aliases accepted")
+	}
+}
+
+// TestBADegreeAliases pins that the model grammar accepts the factor
+// grammar's historical "m" key for the attachment degree, and that the
+// two spellings build the identical stream.
+func TestBADegreeAliases(t *testing.T) {
+	a, err := New("ba:n=500,d=3,seed=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("ba:n=500,m=3,seed=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameArcs(Collect(a), Collect(b)) {
+		t.Error("d= and m= specs stream different arcs")
+	}
+	if _, err := New("ba:n=500,d=3,m=3,seed=8"); err != nil {
+		t.Errorf("agreeing d/m aliases rejected: %v", err)
+	}
+}

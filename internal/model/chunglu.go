@@ -19,6 +19,7 @@ import (
 // (seed, chunk)-derived stream, so expected cost stays O(n + m) in
 // total and chunks never communicate.
 type ChungLu struct {
+	noDeps
 	name string
 	w    []float64
 	sum  float64

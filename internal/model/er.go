@@ -18,6 +18,7 @@ import (
 // instead of the O(n²) Bernoulli sweep of the legacy builder, with no
 // coordination between chunks.
 type ErdosRenyi struct {
+	noDeps
 	n    int64
 	p    float64
 	seed uint64

@@ -21,11 +21,13 @@ import (
 // no communication, and the counts sum to m exactly. Within a chunk the
 // count is realized as uniformly sampled distinct pair indices.
 type Gnm struct {
+	noDeps
 	n    int64
 	m    int64
 	seed uint64
 	ps   pairSpace
 	rows [][2]int64
+	tree splitTree
 }
 
 // maxGnmChunkEdges bounds the per-chunk edge budget (each chunk holds
@@ -47,6 +49,14 @@ func NewGnm(n, m int64, seed uint64, chunks int) (*Gnm, error) {
 	if budget := maxGnmChunkEdges * int64(len(g.rows)); m > budget {
 		return nil, fmt.Errorf("model: gnm edge count %d exceeds %d chunks × per-chunk cap %d; raise chunks",
 			m, len(g.rows), maxGnmChunkEdges)
+	}
+	g.tree = splitTree{
+		seed:        seed,
+		ns:          nsGnmSplit,
+		slots:       len(g.rows),
+		total:       m,
+		weight:      g.pairsInSlots,
+		capacitated: true, // a chunk cannot hold more edges than pairs
 	}
 	return g, nil
 }
@@ -105,41 +115,12 @@ func (g *Gnm) pairsInSlots(lo, hi int) int64 {
 	return g.ps.offset(g.rows[hi-1][1]) - g.ps.offset(g.rows[lo][0])
 }
 
-// ChunkArcs returns chunk c's exact edge count by descending the
-// splitting tree from the root: O(log chunks) binomial draws, each from
-// a stream derived purely from (seed, node), so every caller computes
-// the same value.
+// ChunkArcs returns chunk c's exact edge count via the shared binomial
+// splitting tree (the Sample phase of this model): O(log chunks) draws,
+// each from a stream derived purely from (seed, node), so every caller
+// computes the same value.
 func (g *Gnm) ChunkArcs(c int) int64 {
-	lo, hi := 0, len(g.rows)
-	m := g.m
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		total := g.pairsInSlots(lo, hi)
-		left := g.pairsInSlots(lo, mid)
-		var mLeft int64
-		if total > 0 {
-			node := uint64(lo)<<32 | uint64(hi)
-			s := rng.NewStream2(g.seed, nsGnmSplit, node)
-			mLeft = s.Binomial(m, float64(left)/float64(total))
-			// Clamp to the feasible range [m - pairs_right, pairs_left]:
-			// the binomial approximation of the hypergeometric split can
-			// otherwise assign a side more edges than it has pairs (e.g.
-			// near-complete graphs). Both ends stay in range because
-			// m <= total.
-			if right := total - left; mLeft < m-right {
-				mLeft = m - right
-			}
-			if mLeft > left {
-				mLeft = left
-			}
-		}
-		if c < mid {
-			hi, m = mid, mLeft
-		} else {
-			lo, m = mid, m-mLeft
-		}
-	}
-	return m
+	return g.tree.count(c)
 }
 
 // GenerateChunk streams chunk c: its exact edge count is realized as

@@ -1,17 +1,42 @@
 // Package model is the model-agnostic communication-free generator
-// layer: every random graph model is expressed as a fixed sequence of
-// independent randomness *chunks*, each of which any worker can
-// regenerate from (seed, chunk id) alone via rng.NewStream2. Shards are
-// contiguous chunk ranges, so the concatenated shard streams are the
-// concatenated chunk streams — byte-identical for every worker count —
-// and every chunk owns a contiguous, disjoint source-vertex range, which
-// is exactly the contract the parallel CSR builder and the per-shard
-// writers already rely on for the Kronecker pipeline.
+// layer: every random graph model is expressed as a two-phase plan over
+// a fixed sequence of randomness units that any worker can regenerate
+// from the seed and a structural id alone via rng.NewStream2.
 //
-// The chunk, not the shard, is the unit of randomness: worker counts
-// partition chunks but never influence a single random draw. Changing
-// the chunk count (a model parameter, fixed per generator) changes the
-// stream; changing the worker count never does.
+// Phase 1 — Sample. The model's raw random draws (coordinates, degree
+// draws, edge-count splits, pair indices) are partitioned into *cells*,
+// and each cell's sample is a pure function of (seed, cell id): any
+// worker can recompute any cell's sample on demand, at any time, with
+// no communication. For the dependence-free models (er, gnm, rmat,
+// chunglu) cells coincide with chunks; for the spatial models (rgg2d,
+// rgg3d) a cell is one grid cell's vertex placements; for ba the
+// "cells" degenerate to per-edge-position hash streams.
+//
+// Phase 2 — Enumerate. Arc emission is partitioned into *chunks*, each
+// owning a contiguous, disjoint source-vertex range and emitting its
+// arcs in strictly increasing lexicographic order. A chunk may read
+// sample cells it does not own — it declares them via Dependencies and
+// simply *recomputes* them (the paper's trick for random geometric
+// graphs: each worker regenerates neighboring cells' vertex samples
+// instead of receiving them) or chases per-edge dependency chains
+// through the Sample phase's hash streams (the paper's retracing
+// algorithm for preferential attachment). Every arc is emitted by
+// exactly one owning chunk, ties broken canonically (undirected pairs
+// belong to the lexicographically smaller endpoint's owner).
+//
+// Shards are contiguous chunk ranges, so the concatenated shard streams
+// are the concatenated chunk streams — byte-identical for every worker
+// count — and the per-chunk source ranges are exactly the contract the
+// parallel CSR builder and the per-shard writers already rely on for
+// the Kronecker pipeline.
+//
+// The cell, not the shard — and not even the chunk grouping — is the
+// unit of randomness: worker counts partition chunks, chunks group
+// cells, and neither ever influences a single random draw. Changing a
+// model parameter that is part of the stream identity (for er/gnm/
+// rmat/chunglu that includes the chunk count; for rgg/ba it does not —
+// their cells are fixed by the geometry or the edge positions) changes
+// the stream; changing the worker count never does.
 //
 // Models register themselves in a registry keyed by a spec string
 // (`er:n=100000,p=0.001,seed=42`), mirroring the factor-spec grammar of
@@ -38,6 +63,9 @@ const (
 	nsRMATChunk = 0x726d_6101 // R-MAT chunk streams
 	nsRMATSplit = 0x726d_6102 // R-MAT multinomial-splitting tree
 	nsCLChunk   = 0x636c_7501 // Chung–Lu chunk streams
+	nsRGGCell   = 0x7267_6701 // RGG per-cell coordinate streams
+	nsRGGSplit  = 0x7267_6702 // RGG cell-occupancy splitting tree
+	nsBAPos     = 0x6261_0001 // BA per-edge-position hash streams
 )
 
 // DefaultChunks is the number of randomness chunks a model uses when the
@@ -47,14 +75,21 @@ const (
 const DefaultChunks = 64
 
 // Generator is a random graph model expressed as a communication-free
-// sharded arc stream. Chunks are indexed 0..Chunks()-1; concatenating
+// sharded arc stream in the two-phase Sample/Enumerate shape (see the
+// package comment). Chunks are indexed 0..Chunks()-1; concatenating
 // every chunk's arcs in index order is the model's canonical stream.
 // Implementations guarantee:
 //
-//   - GenerateChunk(c) is a pure function of the generator's parameters
-//     and c — any worker can regenerate any chunk at any time;
+//   - Sample: every random draw a chunk consumes comes from a stream
+//     keyed only by (seed, structural id) — a cell id, a splitting-tree
+//     node, or an edge position — never by chunk or shard boundaries;
+//   - Enumerate: GenerateChunk(c) is a pure function of the generator's
+//     parameters and c — any worker can regenerate any chunk at any
+//     time, recomputing foreign cells (Dependencies) as needed;
 //   - chunk c emits only arcs whose source vertex lies in ChunkRange(c),
-//     in strictly increasing lexicographic (U, V) order;
+//     in strictly increasing lexicographic (U, V) order, and every arc
+//     of the model is emitted by exactly one chunk (undirected pairs by
+//     the lexicographically smaller endpoint's owner);
 //   - chunk ranges are non-overlapping and non-decreasing in c,
 //
 // which together make the canonical stream feed the one-pass CSR sink
@@ -68,23 +103,39 @@ type Generator interface {
 	// NumArcs returns the exact total arc count when the model fixes it
 	// (G(n, m)), and -1 when it is only known in expectation.
 	NumArcs() int64
-	// Chunks returns the fixed number of randomness chunks.
+	// Chunks returns the fixed number of enumeration chunks.
 	Chunks() int
 	// ChunkRange returns the half-open source-vertex range owned by
 	// chunk c. Ranges are disjoint and non-decreasing in c; an empty
 	// chunk has lo == hi.
 	ChunkRange(c int) (lo, hi int64)
-	// ChunkWeight returns the relative expected work of chunk c, the
+	// ChunkWeight returns the relative expected work of chunk c —
+	// including the cost of regenerating its dependency cells — the
 	// quantity shard balancing equalizes.
 	ChunkWeight(c int) int64
 	// ChunkArcs returns the exact arc count of chunk c, or -1 when it is
 	// random.
 	ChunkArcs(c int) int64
+	// Dependencies returns the ids of the Sample-phase cells chunk c
+	// recomputes beyond the ones it owns — the declared cross-chunk
+	// reads of the Enumerate phase, sorted ascending. Dependence-free
+	// models return nil; models whose cross-chunk reads are resolved
+	// pointwise through per-element hash streams rather than whole-cell
+	// regeneration (BA retracing) also return nil.
+	Dependencies(c int) []int64
 	// GenerateChunk streams chunk c under the stream.ShardGen emit
 	// contract: fill buf, hand every full batch and the final partial one
 	// to emit, stop early when emit returns nil.
 	GenerateChunk(c int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc))
 }
+
+// noDeps is embedded by models whose chunks read no foreign sample
+// cells: their Enumerate phase touches only streams the chunk itself
+// owns, so the dependency declaration is empty.
+type noDeps struct{}
+
+// Dependencies reports that the chunk recomputes no foreign cells.
+func (noDeps) Dependencies(int) []int64 { return nil }
 
 // batcher adapts the append-and-flush emit contract for generator inner
 // loops: add appends one arc and hands the batch off when full; flush

@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -47,6 +48,10 @@ var testSpecs = []string{
 	"gnm:n=1500,m=9000,seed=11",
 	"rmat:scale=11,edges=16384,seed=13",
 	"chunglu:n=3000,dmax=60,gamma=2.4,seed=5",
+	"rgg2d:n=2500,r=0.03,seed=9",
+	"rgg3d:n=1200,r=0.09,seed=4,chunks=21",
+	"ba:n=2000,d=3,seed=15",
+	"ba:n=900,d=5,s0=12,seed=2,chunks=11",
 }
 
 // TestByteIdentityAcrossShardAndWorkerCounts is the paper's central
@@ -384,13 +389,56 @@ func TestRegistrySpecs(t *testing.T) {
 		t.Error("gnm without m accepted")
 	}
 	kinds := Kinds()
-	for _, want := range []string{"er", "gnm", "rmat", "chunglu"} {
+	for _, want := range []string{"er", "gnm", "rmat", "chunglu", "rgg2d", "rgg3d", "ba"} {
 		found := false
 		for _, k := range kinds {
 			found = found || k == want
 		}
 		if !found {
 			t.Errorf("kind %q not registered (have %v)", want, kinds)
+		}
+	}
+}
+
+// TestKindsSortedEverywhere pins the satellite contract that model
+// kinds surface deterministically: Kinds() is sorted, and the
+// unknown-kind error message lists them in that same sorted order (CLI
+// help text and CI logs both print these).
+func TestKindsSortedEverywhere(t *testing.T) {
+	kinds := Kinds()
+	if !sort.StringsAreSorted(kinds) {
+		t.Fatalf("Kinds() not sorted: %v", kinds)
+	}
+	_, err := New("nosuchmodel:n=1")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if want := strings.Join(kinds, ", "); !strings.Contains(err.Error(), want) {
+		t.Errorf("unknown-kind error %q does not list the sorted kinds %q", err, want)
+	}
+}
+
+// TestDependenciesContract checks the declared cross-chunk reads for
+// every registered test spec: dependence-free models must declare
+// nothing, and every declaration must be sorted, duplicate-free, and
+// outside the chunk's own id space.
+func TestDependenciesContract(t *testing.T) {
+	for _, spec := range testSpecs {
+		g, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, spatial := g.(*RGG)
+		for c := 0; c < g.Chunks(); c++ {
+			deps := g.Dependencies(c)
+			if !spatial && deps != nil {
+				t.Fatalf("%s: chunk %d declares dependencies %v; only the cell-grid models recompute foreign cells", spec, c, deps)
+			}
+			for i := 1; i < len(deps); i++ {
+				if deps[i-1] >= deps[i] {
+					t.Fatalf("%s: chunk %d dependencies not strictly ascending: %v", spec, c, deps)
+				}
+			}
 		}
 	}
 }

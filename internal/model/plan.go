@@ -12,7 +12,11 @@ import (
 // lo..hi-1 in order, the concatenation of all shard streams equals the
 // concatenation of all chunk streams for every shard count: the
 // communication-free byte-identity invariant, inherited rather than
-// re-proven per model.
+// re-proven per model. Cross-chunk dependence (rgg neighbor cells, ba
+// retraced chains) changes nothing here: a chunk *recomputes* foreign
+// samples through their pure (seed, id) streams instead of receiving
+// them, so replay order and shard grouping still never touch a random
+// draw.
 type Plan struct {
 	g      Generator
 	ranges [][2]int // chunk index range per shard

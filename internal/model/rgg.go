@@ -1,0 +1,412 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kronvalid/internal/par"
+	"kronvalid/internal/rng"
+	"kronvalid/internal/stream"
+)
+
+// RGG is the sharded random geometric graph on the unit square (dim 2)
+// or unit cube (dim 3): n vertices placed uniformly at random, an
+// undirected edge between every pair at Euclidean distance <= r,
+// emitted once as the upper-triangle arc (u, v), u < v, in canonical
+// order.
+//
+// This is the paper's centerpiece construction, in the two-phase shape:
+//
+// Sample — the unit box is cut into a grid of cells with side >= r.
+// Cell occupancies realize an exact-n multinomial via the shared
+// recursive binomial splitting tree (splitTree, uncapacitated, weights
+// proportional to cell volume), and cell c's coordinates come from the
+// pure stream (seed, nsRGGCell, c): any worker recomputes any cell's
+// vertex sample on demand. Vertex ids are assigned cell-major (cell
+// index order, then placement order), so id order agrees with cell
+// order.
+//
+// Enumerate — because the cell side is >= r, every edge is confined to
+// one cell or two neighboring cells. Each chunk owns a contiguous run
+// of cells and, for each owned cell, compares its points against the
+// cell itself and its *forward* neighbors (grid neighbors with larger
+// cell index), regenerating foreign cells' samples instead of
+// receiving them — the declared Dependencies. Each undirected pair is
+// therefore emitted exactly once, by the lexicographically smaller
+// endpoint's cell, and the per-u segments arrive in ascending order,
+// so the chunk stream is canonical without sorting.
+//
+// The chunk grouping touches no random draw — cells, occupancies and
+// coordinates are fixed by (n, r, dim, seed) alone — so the stream is
+// byte-identical for every chunk AND worker count.
+type RGG struct {
+	n      int64
+	r      float64
+	dim    int
+	seed   uint64
+	grid   int // cells per axis
+	cells  int // grid^dim
+	r2     float64
+	inv    float64 // 1/grid, the cell side
+	tree   splitTree
+	runs   [][2]int // cell range per chunk
+	starts []int64  // vertex-id offset at each chunk boundary (len runs+1)
+}
+
+// maxRGGVertices bounds n so id and occupancy arithmetic stays well
+// inside int64.
+const maxRGGVertices = int64(1) << 40
+
+// maxRGGCells bounds the cell count: splitting-tree node ids pack two
+// cell indices into one uint64, and descents are O(log cells) per cell
+// query.
+const maxRGGCells = 1 << 24
+
+// maxRGGChunkPoints bounds the *expected* number of points a chunk owns
+// (its own cells plus the regenerated neighbor halo are held in memory
+// while the chunk generates); denser placements are construction errors
+// ("raise chunks") rather than mid-stream memory exhaustion.
+const maxRGGChunkPoints = int64(1) << 25
+
+// NewRGG returns the sharded random geometric graph generator for
+// dim ∈ {2, 3}. chunks = 0 means DefaultChunks; unlike the pair-backed
+// models, the chunk count only groups cells for enumeration and is NOT
+// part of the stream identity.
+func NewRGG(n int64, r float64, dim int, seed uint64, chunks int) (*RGG, error) {
+	if dim != 2 && dim != 3 {
+		return nil, fmt.Errorf("model: rgg dimension %d is not 2 or 3", dim)
+	}
+	if n < 0 || n > maxRGGVertices {
+		return nil, fmt.Errorf("model: rgg vertex count %d out of [0, %d]", n, maxRGGVertices)
+	}
+	if math.IsNaN(r) || r <= 0 || r > 1 {
+		return nil, fmt.Errorf("model: rgg radius %v out of (0, 1]", r)
+	}
+	g := &RGG{n: n, r: r, dim: dim, seed: seed, r2: r * r}
+	// The neighbor-cell argument needs cell side 1/grid >= r, i.e.
+	// grid <= 1/r; beyond that the grid only gets finer to keep expected
+	// occupancy >= 1 (cells <= n) and the cell count bounded. Every
+	// clamp shrinks grid, so the side only grows and correctness holds.
+	g.grid = int(math.Floor(1 / r))
+	if g.grid < 1 {
+		g.grid = 1
+	}
+	if occ := int(math.Floor(math.Pow(float64(n), 1/float64(dim)))); g.grid > occ {
+		g.grid = occ
+	}
+	maxGrid := int(math.Floor(math.Pow(maxRGGCells, 1/float64(dim))))
+	if g.grid > maxGrid {
+		g.grid = maxGrid
+	}
+	if g.grid < 1 {
+		g.grid = 1
+	}
+	g.cells = g.grid
+	for d := 1; d < dim; d++ {
+		g.cells *= g.grid
+	}
+	g.inv = 1 / float64(g.grid)
+	g.tree = splitTree{
+		seed:  seed,
+		ns:    nsRGGSplit,
+		slots: g.cells,
+		total: n,
+		// Cells have equal volume, so occupancy weights are cell counts.
+		weight: func(lo, hi int) int64 { return int64(hi - lo) },
+	}
+	k := normalizeChunks(chunks, int64(g.cells))
+	for _, run := range par.Chunks(int64(g.cells), int64(k)) {
+		g.runs = append(g.runs, [2]int{int(run[0]), int(run[1])})
+	}
+	if len(g.runs) == 0 {
+		g.runs = [][2]int{{0, g.cells}}
+	}
+	// A generating chunk holds its own cells' points plus the foreign
+	// halo it regenerates (at most span() cells), so the resident bound
+	// must count both.
+	maxOwned := (g.cells + len(g.runs) - 1) / len(g.runs)
+	if resident := int64(float64(n) * float64(maxOwned+g.span()) / float64(g.cells)); resident > maxRGGChunkPoints {
+		return nil, fmt.Errorf("model: rgg holds ~%d of %d points resident per chunk (own cells + regenerated halo; cap %d); raise chunks",
+			resident, n, maxRGGChunkPoints)
+	}
+	g.starts = make([]int64, len(g.runs)+1)
+	for i, run := range g.runs {
+		g.starts[i] = g.tree.prefix(run[0])
+	}
+	g.starts[len(g.runs)] = n
+	return g, nil
+}
+
+func buildRGG(p *Params, dim int) (Generator, error) {
+	n, err := p.Int64("n", -1)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.FloatReq("r")
+	if err != nil {
+		return nil, err
+	}
+	seed, err := p.Seed()
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := p.Int("chunks", 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewRGG(n, r, dim, seed, chunks)
+}
+
+func init() {
+	Register("rgg2d", func(p *Params) (Generator, error) { return buildRGG(p, 2) })
+	Register("rgg3d", func(p *Params) (Generator, error) { return buildRGG(p, 3) })
+}
+
+// Name returns the canonical spec of this generator.
+func (g *RGG) Name() string {
+	return fmt.Sprintf("rgg%dd:n=%d,r=%s,seed=%d,chunks=%d", g.dim, g.n, formatFloat(g.r), g.seed, len(g.runs))
+}
+
+// NumVertices returns n.
+func (g *RGG) NumVertices() int64 { return g.n }
+
+// NumArcs returns -1: the edge count is random.
+func (g *RGG) NumArcs() int64 { return -1 }
+
+// ExpectedDegree returns the bulk mean degree (n-1)·V(r), where V is
+// the volume of the r-ball (boundary effects excluded): π r² in 2D,
+// (4/3) π r³ in 3D.
+func (g *RGG) ExpectedDegree() float64 {
+	v := math.Pi * g.r2
+	if g.dim == 3 {
+		v = 4.0 / 3.0 * math.Pi * g.r2 * g.r
+	}
+	return float64(g.n-1) * v
+}
+
+// Chunks returns the fixed chunk count.
+func (g *RGG) Chunks() int { return len(g.runs) }
+
+// CellCount returns the number of sample cells (grid^dim).
+func (g *RGG) CellCount() int { return g.cells }
+
+// CellVertices returns the exact occupancy of cell c — the Sample
+// phase's splitting tree, recomputable by any worker.
+func (g *RGG) CellVertices(c int) int64 { return g.tree.count(c) }
+
+// ChunkRange returns chunk c's vertex-id range: ids are cell-major, so
+// contiguous cell runs own contiguous id ranges.
+func (g *RGG) ChunkRange(c int) (lo, hi int64) {
+	return g.starts[c], g.starts[c+1]
+}
+
+// span returns the maximum forward cell-index offset a cell reads
+// (grid-neighbor (+1, +1[, +1]) in row-major order): the halo depth of
+// a chunk's foreign reads, in cells.
+func (g *RGG) span() int {
+	if g.dim == 2 {
+		return g.grid + 1
+	}
+	return g.grid*g.grid + g.grid + 1
+}
+
+// ChunkWeight returns chunk c's expected work: its expected point count
+// (cells are equal-volume, so proportional to owned cells) plus the
+// expected points of the foreign halo it regenerates — bounded in
+// closed form by span() cells clipped to the grid, so planning stays
+// O(chunks) without enumerating Dependencies. Shard balancing therefore
+// accounts for the recomputation halo, not just ownership.
+func (g *RGG) ChunkWeight(c int) int64 {
+	halo := g.span()
+	if rest := g.cells - g.runs[c][1]; rest < halo {
+		halo = rest
+	}
+	cells := g.runs[c][1] - g.runs[c][0] + halo
+	return 1 + int64(float64(g.n)*float64(cells)/float64(g.cells))
+}
+
+// ChunkArcs returns -1: per-chunk counts are random.
+func (g *RGG) ChunkArcs(c int) int64 { return -1 }
+
+// cellCoords decomposes a row-major cell index into grid coordinates
+// (x fastest).
+func (g *RGG) cellCoords(cell int) [3]int {
+	var xyz [3]int
+	xyz[0] = cell % g.grid
+	cell /= g.grid
+	xyz[1] = cell % g.grid
+	if g.dim == 3 {
+		xyz[2] = cell / g.grid
+	}
+	return xyz
+}
+
+// forwardNeighbors returns the grid neighbors of cell with a larger
+// row-major index, ascending — the cells whose points this cell is
+// responsible for pairing with its own.
+func (g *RGG) forwardNeighbors(cell int) []int {
+	xyz := g.cellCoords(cell)
+	zs := []int{0}
+	if g.dim == 3 {
+		zs = []int{-1, 0, 1}
+	}
+	var out []int
+	for _, dz := range zs {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				x, y, z := xyz[0]+dx, xyz[1]+dy, xyz[2]+dz
+				if x < 0 || x >= g.grid || y < 0 || y >= g.grid || z < 0 || z >= g.grid {
+					continue
+				}
+				idx := (z*g.grid+y)*g.grid + x
+				if idx > cell {
+					out = append(out, idx)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dependencies returns the foreign cells chunk c regenerates: forward
+// neighbors of its owned cells that fall outside its own cell run. Only
+// cells within span() of the run's end can reach past it.
+func (g *RGG) Dependencies(c int) []int64 {
+	lo, hi := g.runs[c][0], g.runs[c][1]
+	from := hi - g.span()
+	if from < lo {
+		from = lo
+	}
+	seen := map[int]bool{}
+	for cell := from; cell < hi; cell++ {
+		for _, nb := range g.forwardNeighbors(cell) {
+			if nb >= hi {
+				seen[nb] = true
+			}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for nb := range seen {
+		out = append(out, int64(nb))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// cellSample is one regenerated cell: its vertex-id offset and the
+// flattened coordinates (dim floats per point, placement order).
+type cellSample struct {
+	start  int64
+	coords []float64
+}
+
+// samplePoints regenerates cell c's coordinates — the Sample phase's
+// pure function of (seed, cell): occupancy from the splitting tree,
+// coordinates from the cell's own stream, each scaled into the cell's
+// box. memo caches splitting-tree nodes across a chunk's many descents
+// (nil disables caching); it never changes a value, only avoids
+// re-drawing it.
+func (g *RGG) samplePoints(cell int, memo splitMemo) []float64 {
+	cnt := g.tree.countMemo(cell, memo)
+	if cnt == 0 {
+		return nil
+	}
+	xyz := g.cellCoords(cell)
+	s := rng.NewStream2(g.seed, nsRGGCell, uint64(cell))
+	coords := make([]float64, cnt*int64(g.dim))
+	var u [3]float64
+	for i := int64(0); i < cnt; i++ {
+		s.UnitUniform(u[:g.dim])
+		for d := 0; d < g.dim; d++ {
+			coords[i*int64(g.dim)+int64(d)] = (float64(xyz[d]) + u[d]) * g.inv
+		}
+	}
+	return coords
+}
+
+// GenerateChunk streams chunk c: for each owned cell in index order,
+// its points are compared against the cell's own later points and
+// every forward neighbor's points (regenerated through the cell cache),
+// emitting (u, v), u < v, for each pair within distance r. Per source
+// vertex the partner segments are visited in ascending id order, so the
+// stream is canonical by construction.
+func (g *RGG) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	lo, hi := g.runs[c][0], g.runs[c][1]
+	if lo >= hi || g.n == 0 {
+		return
+	}
+	b := newBatcher(buf, emit)
+	dim := int64(g.dim)
+	// cache maps cell -> regenerated sample. Owned cells are dropped
+	// once processed (later cells only look forward); foreign
+	// dependencies stay for the chunk's lifetime — the halo the
+	// per-chunk point cap bounds.
+	cache := map[int]*cellSample{}
+	memo := splitMemo{}
+	get := func(cell int, start int64) *cellSample {
+		if e, ok := cache[cell]; ok {
+			return e
+		}
+		if start < 0 {
+			start = g.tree.prefixMemo(cell, memo)
+		}
+		e := &cellSample{start: start, coords: g.samplePoints(cell, memo)}
+		cache[cell] = e
+		return e
+	}
+	start := g.starts[c]
+	for cell := lo; cell < hi; cell++ {
+		own := get(cell, start)
+		nPts := int64(len(own.coords)) / dim
+		start += nPts
+		if nPts == 0 {
+			delete(cache, cell)
+			continue
+		}
+		var nbs []*cellSample
+		for _, nb := range g.forwardNeighbors(cell) {
+			e := get(nb, -1)
+			if len(e.coords) > 0 {
+				nbs = append(nbs, e)
+			}
+		}
+		for i := int64(0); i < nPts; i++ {
+			p := own.coords[i*dim : i*dim+dim]
+			u := own.start + i
+			for j := i + 1; j < nPts; j++ {
+				if g.within(p, own.coords[j*dim:j*dim+dim]) {
+					if !b.add(u, own.start+j) {
+						return
+					}
+				}
+			}
+			for _, nb := range nbs {
+				m := int64(len(nb.coords)) / dim
+				for j := int64(0); j < m; j++ {
+					if g.within(p, nb.coords[j*dim:j*dim+dim]) {
+						if !b.add(u, nb.start+j) {
+							return
+						}
+					}
+				}
+			}
+		}
+		delete(cache, cell)
+	}
+	b.flush()
+}
+
+// within reports whether two points lie at Euclidean distance <= r.
+func (g *RGG) within(p, q []float64) bool {
+	var d2 float64
+	for d := 0; d < g.dim; d++ {
+		diff := p[d] - q[d]
+		d2 += diff * diff
+	}
+	return d2 <= g.r2
+}

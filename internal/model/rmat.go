@@ -25,6 +25,7 @@ import (
 // law; the chunk's arcs are then sorted and deduplicated, making the
 // concatenated stream canonical and CSR-ready.
 type RMAT struct {
+	noDeps
 	scale      int
 	edges      int64
 	a, b, c, d float64

@@ -1,0 +1,117 @@
+package model
+
+import "kronvalid/internal/rng"
+
+// splitTree divides an integer total across a fixed sequence of slots
+// by recursive binomial splitting — the Sample-phase primitive behind
+// every exact-count partition in this package (G(n,m) edge budgets, RGG
+// cell occupancies). The node covering slots [lo, hi) assigns its left
+// half Binomial(total_node, w_left/w_node) items from a stream derived
+// purely from (seed, ns, lo<<32|hi), so every worker recomputes any
+// slot's exact share — in O(log slots) draws — with no communication,
+// the shares follow the exact multinomial law conditioned on the total,
+// and they sum to the total exactly.
+//
+// When capacitated is set, slot weights are also capacities (G(n,m):
+// a slot cannot hold more edges than it has pairs) and each split is
+// clamped into its feasible range; for uncapacitated trees (RGG: a
+// cell holds any number of points) the weights are proportions only.
+type splitTree struct {
+	seed  uint64
+	ns    uint64
+	slots int
+	total int64
+	// weight returns the combined weight of slots [lo, hi). It must be
+	// exactly additive: weight(lo, hi) == weight(lo, mid) + weight(mid, hi).
+	weight      func(lo, hi int) int64
+	capacitated bool
+}
+
+// splitMemo caches per-node left shares across many descents of the
+// same tree. A node's incoming total m is itself a pure function of the
+// node, so caching by node id alone is sound. Create one per chunk
+// generation (it is not safe for concurrent use); a nil memo disables
+// caching.
+type splitMemo map[uint64]int64
+
+// leftShare draws the left half's share of m items at the node covering
+// [lo, hi) split at mid. It is a pure function of (seed, ns, lo, hi, m).
+func (t *splitTree) leftShare(lo, mid, hi int, m int64, memo splitMemo) int64 {
+	node := uint64(lo)<<32 | uint64(hi)
+	if v, ok := memo[node]; ok {
+		return v
+	}
+	mLeft := int64(0)
+	if total := t.weight(lo, hi); total > 0 {
+		left := t.weight(lo, mid)
+		s := rng.NewStream2(t.seed, t.ns, node)
+		mLeft = s.Binomial(m, float64(left)/float64(total))
+		if t.capacitated {
+			// Clamp to the feasible range [m - w_right, w_left]: the binomial
+			// approximation of the hypergeometric split can otherwise assign a
+			// side more items than it has capacity (e.g. near-complete
+			// graphs). Both ends stay in range because m <= total.
+			if right := total - left; mLeft < m-right {
+				mLeft = m - right
+			}
+			if mLeft > left {
+				mLeft = left
+			}
+		}
+	}
+	if memo != nil {
+		memo[node] = mLeft
+	}
+	return mLeft
+}
+
+// count returns slot c's exact item count by descending from the root:
+// O(log slots) binomial draws, each from a stream derived purely from
+// (seed, node), so every caller computes the same value.
+func (t *splitTree) count(c int) int64 { return t.countMemo(c, nil) }
+
+func (t *splitTree) countMemo(c int, memo splitMemo) int64 {
+	lo, hi := 0, t.slots
+	m := t.total
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		mLeft := t.leftShare(lo, mid, hi, m, memo)
+		if c < mid {
+			hi, m = mid, mLeft
+		} else {
+			lo, m = mid, m-mLeft
+		}
+	}
+	return m
+}
+
+// prefix returns the total item count of slots [0, c) — the id-space
+// offset of slot c — by one root descent accumulating the left shares
+// it passes: O(log slots) draws, identical across callers.
+func (t *splitTree) prefix(c int) int64 { return t.prefixMemo(c, nil) }
+
+func (t *splitTree) prefixMemo(c int, memo splitMemo) int64 {
+	if c <= 0 || t.slots == 0 {
+		return 0
+	}
+	if c >= t.slots {
+		return t.total
+	}
+	lo, hi := 0, t.slots
+	m := t.total
+	var acc int64
+	// Invariant: acc counts slots [0, lo) and m counts [lo, hi), with
+	// c in (lo, hi]; at hi-lo == 1 that forces c == hi, so acc+m is the
+	// count of [0, c).
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		mLeft := t.leftShare(lo, mid, hi, m, memo)
+		if c <= mid {
+			hi, m = mid, mLeft
+		} else {
+			acc += mLeft
+			lo, m = mid, m-mLeft
+		}
+	}
+	return acc + m
+}

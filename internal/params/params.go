@@ -26,8 +26,14 @@ type Params struct {
 // Parse splits a spec string into its kind and parameters: the kind is
 // everything before the first colon, "key=value" pairs follow it. A
 // spec with no colon at all ("hubcycle") is a kind with no parameters —
-// valid whenever the kind's parameters all have defaults.
+// valid whenever the kind's parameters all have defaults. The
+// KaGen-style surface form "kind(key=value;key=value)" is accepted as
+// an alias and normalized to the colon/comma form before parsing.
 func Parse(spec string) (kind string, p *Params, err error) {
+	if i := strings.IndexByte(spec, '('); i >= 0 &&
+		strings.HasSuffix(spec, ")") && !strings.Contains(spec[:i], ":") {
+		spec = spec[:i] + ":" + strings.ReplaceAll(strings.TrimSuffix(spec[i+1:], ")"), ";", ",")
+	}
 	kind, rest, _ := strings.Cut(spec, ":")
 	p = &Params{kv: map[string]string{}, used: map[string]bool{}}
 	if rest != "" {
@@ -83,6 +89,15 @@ func (p *Params) Float(key string, def float64) (float64, error) {
 		return 0, fmt.Errorf("parameter %q: %v", key, err)
 	}
 	return v, nil
+}
+
+// FloatReq returns a required float parameter (no meaningful default
+// exists — e.g. a geometric radius).
+func (p *Params) FloatReq(key string) (float64, error) {
+	if _, ok := p.kv[key]; !ok {
+		return 0, fmt.Errorf("missing required parameter %q", key)
+	}
+	return p.Float(key, 0)
 }
 
 // String returns a string parameter ("" when absent; ok reports

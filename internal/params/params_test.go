@@ -81,3 +81,50 @@ func TestKindOnlySpec(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFloatReq(t *testing.T) {
+	_, p, err := Parse("rgg:n=10,r=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.FloatReq("r")
+	if err != nil || r != 0.25 {
+		t.Fatalf("FloatReq(r) = %v, %v", r, err)
+	}
+	if _, err := p.FloatReq("missing"); err == nil {
+		t.Error("missing required float accepted")
+	}
+	if stray := p.Unused(); len(stray) != 1 || stray[0] != "n" {
+		t.Errorf("Unused after FloatReq = %v, want [n]", stray)
+	}
+}
+
+// TestParenSpecAlias pins the KaGen-style surface form: kind(k=v;k=v)
+// must parse identically to kind:k=v,k=v, and strings that merely
+// contain parentheses after a colon must not be rewritten.
+func TestParenSpecAlias(t *testing.T) {
+	kind, p, err := Parse("rgg2d(n=100000;r=0.005)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "rgg2d" {
+		t.Fatalf("kind = %q", kind)
+	}
+	n, err := p.Int64("n", -1)
+	if err != nil || n != 100000 {
+		t.Fatalf("n = %d, %v", n, err)
+	}
+	r, err := p.FloatReq("r")
+	if err != nil || r != 0.005 {
+		t.Fatalf("r = %v, %v", r, err)
+	}
+	// A colon-form spec whose value contains parentheses keeps them.
+	kind, p, err = Parse("file:path=a(b).tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := p.String("path")
+	if kind != "file" || path != "a(b).tsv" {
+		t.Fatalf("colon spec rewritten: kind=%q path=%q", kind, path)
+	}
+}

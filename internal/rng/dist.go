@@ -155,6 +155,17 @@ func (g *Xoshiro256) binomialZigzag(n int64, p float64) int64 {
 	return mode
 }
 
+// UnitUniform fills dst with independent uniform [0, 1) coordinates,
+// one Float64 per slot in order — the coordinate sampler of the spatial
+// (random geometric) generators, where dst is one point's coordinate
+// vector. Consuming exactly len(dst) draws per call keeps a point
+// stream's layout a pure function of (generator state, dimension).
+func (g *Xoshiro256) UnitUniform(dst []float64) {
+	for i := range dst {
+		dst[i] = g.Float64()
+	}
+}
+
 // NewStream2 returns a generator for a two-level logical stream id, the
 // nested analogue of NewStream: first the namespace id (e.g. a model- or
 // purpose-specific salt), then the element id (e.g. a chunk index or a

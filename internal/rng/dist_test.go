@@ -177,3 +177,34 @@ func TestBinomialHugeN(t *testing.T) {
 		t.Fatalf("huge-n mean %.0f, want ≈ %.0f", mean, want)
 	}
 }
+
+func TestUnitUniform(t *testing.T) {
+	g := New(9)
+	var sum float64
+	buf := make([]float64, 3)
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		g.UnitUniform(buf)
+		for _, v := range buf {
+			if v < 0 || v >= 1 {
+				t.Fatalf("coordinate %v outside [0, 1)", v)
+			}
+			sum += v
+		}
+	}
+	if mean := sum / (3 * rounds); mean < 0.49 || mean > 0.51 {
+		t.Errorf("UnitUniform mean %v far from 0.5", mean)
+	}
+	// Consuming exactly len(dst) draws: interleaving with Float64 must
+	// match a straight Float64 sequence.
+	a, b := New(4), New(4)
+	var got, want [4]float64
+	a.UnitUniform(got[:2])
+	got[2], got[3] = a.Float64(), a.Float64()
+	for i := range want {
+		want[i] = b.Float64()
+	}
+	if got != want {
+		t.Errorf("UnitUniform draw layout differs from Float64 sequence: %v != %v", got, want)
+	}
+}

@@ -8,9 +8,11 @@
 //	cycle:n=9 | path:n=9 | star:n=9
 //	er:n=200,p=0.1,seed=1               Erdős–Rényi G(n, p)
 //	gnm:n=200,m=1000,seed=1             uniform G(n, m) (exact edge count)
-//	ba:n=1000,m=3,seed=1                Barabási–Albert
+//	ba:n=1000,m=3,seed=1                Barabási–Albert (streamed retracing core)
 //	pa1:n=500,seed=1                    §III.D(b) Δ≤1 generator
 //	rmat:scale=10,edges=16384,seed=1    R-MAT (defaults to Graph500 parameters)
+//	rgg2d:n=1000,r=0.05,seed=1          random geometric graph, unit square
+//	rgg3d:n=1000,r=0.1,seed=1           random geometric graph, unit cube
 //	file:path=edges.tsv,n=100           TSV edge list (symmetrized)
 //
 // A trailing "+loops" adds a self loop at every vertex (B = A + I).
@@ -161,11 +163,25 @@ func builder(kind string, p *params.Params) (maker, error) {
 		if err != nil {
 			return nil, err
 		}
+		// "m" is this grammar's historical key; "d" (the model
+		// registry's name for the same quantity) is an accepted alias.
+		_, hasM := p.String("m")
+		_, hasD := p.String("d")
 		m, err := p.Int("m", 3)
 		if err != nil {
 			return nil, err
 		}
-		return func() (*graph.Graph, error) { return gen.BarabasiAlbert(n, m, seed), nil }, nil
+		d, err := p.Int("d", 0)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !hasM && hasD:
+			m = d
+		case hasM && hasD && d != m:
+			return nil, fmt.Errorf("spec: ba parameters \"m\" and \"d\" are aliases and disagree (%d vs %d)", m, d)
+		}
+		return func() (*graph.Graph, error) { return gen.BarabasiAlbertErr(n, m, seed) }, nil
 	case "web":
 		n, err := p.Int("n", -1)
 		if err != nil {
@@ -215,6 +231,25 @@ func builder(kind string, p *params.Params) (maker, error) {
 			return nil, err
 		}
 		return func() (*graph.Graph, error) { return gen.RMATErr(scale, edges, a, b, c, d, seed) }, nil
+	case "rgg2d", "rgg3d":
+		n, err := boundedVertexCount(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.FloatReq("r")
+		if err != nil {
+			return nil, err
+		}
+		dim := 2
+		if kind == "rgg3d" {
+			dim = 3
+		}
+		return func() (*graph.Graph, error) {
+			if dim == 3 {
+				return gen.RGG3D(int64(n), r, seed)
+			}
+			return gen.RGG2D(int64(n), r, seed)
+		}, nil
 	case "file":
 		path, ok := p.String("path")
 		if !ok {

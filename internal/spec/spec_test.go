@@ -166,3 +166,69 @@ func TestParseCapacityErrorsNotPanics(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRGGFactors(t *testing.T) {
+	g, err := Parse("rgg2d:n=400,r=0.08,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 400 || !g.IsSymmetric() || g.NumEdgesUndirected() == 0 {
+		t.Fatal("rgg2d factor malformed or empty")
+	}
+	g3, err := Parse("rgg3d:n=300,r=0.2,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumVertices() != 300 || g3.NumEdgesUndirected() == 0 {
+		t.Fatal("rgg3d factor malformed or empty")
+	}
+	// Determinism and the +loops suffix compose like every other kind.
+	h, err := Parse("rgg2d:n=400,r=0.08,seed=5+loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLoops() != 400 {
+		t.Errorf("rgg2d+loops has %d loops, want 400", h.NumLoops())
+	}
+	for _, bad := range []string{
+		"rgg2d:n=400",               // r required
+		"rgg2d:n=400,r=2",           // radius out of (0, 1]
+		"rgg2d:n=400,r=0.1,rad=0.2", // unknown key
+		"rgg3d:n=-1,r=0.1",          // negative n
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseBAErrorsNotPanics(t *testing.T) {
+	// The streamed BA core's range caps (and the legacy n > m >= 1
+	// guard) must surface as spec errors, never process panics.
+	for _, bad := range []string{
+		"ba:n=1048578,m=1048577", // m past the attachment-degree cap
+		"ba:n=3,m=3",             // n < m+1
+		"ba:n=10,m=0",            // m < 1
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseBADegreeAliases(t *testing.T) {
+	a, err := Parse("ba:n=300,m=3,seed=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("ba:n=300,d=3,seed=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("ba m= and d= factor specs differ")
+	}
+	if _, err := Parse("ba:n=300,m=3,d=4"); err == nil {
+		t.Error("disagreeing ba m/d aliases accepted")
+	}
+}

@@ -9,7 +9,10 @@ import (
 
 func TestModelKindsRegistered(t *testing.T) {
 	kinds := ModelKinds()
-	want := map[string]bool{"er": false, "gnm": false, "rmat": false, "chunglu": false}
+	want := map[string]bool{
+		"er": false, "gnm": false, "rmat": false, "chunglu": false,
+		"rgg2d": false, "rgg3d": false, "ba": false,
+	}
 	for _, k := range kinds {
 		if _, ok := want[k]; ok {
 			want[k] = true
@@ -32,6 +35,9 @@ func TestStreamModelDeterministicAcrossWorkerCounts(t *testing.T) {
 		"gnm:n=2000,m=12000,seed=6",
 		"rmat:scale=11,edges=20000,seed=3",
 		"chunglu:n=2500,dmax=50,seed=8",
+		"rgg2d:n=2500,r=0.03,seed=12",
+		"rgg3d:n=1000,r=0.1,seed=13",
+		"ba:n=2500,d=4,seed=14",
 	} {
 		g, err := NewGenerator(spec)
 		if err != nil {
@@ -150,5 +156,33 @@ func TestGNMPublicAPI(t *testing.T) {
 	g := GNM(150, 900, 5)
 	if g.NumEdgesUndirected() != 900 {
 		t.Fatalf("GNM edges = %d, want 900", g.NumEdgesUndirected())
+	}
+}
+
+func TestRGGPublicAPI(t *testing.T) {
+	g, err := RGG2D(800, 0.06, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSymmetric() || g.HasAnyLoop() || g.NumEdgesUndirected() == 0 {
+		t.Fatal("RGG2D graph malformed or empty")
+	}
+	g3, err := RGG3D(500, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g3.IsSymmetric() || g3.NumEdgesUndirected() == 0 {
+		t.Fatal("RGG3D graph malformed or empty")
+	}
+	if _, err := RGG2D(100, -1, 1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	// The KaGen-style spec alias reaches the same generator.
+	mg, err := NewGenerator("rgg2d(n=800;r=0.06;seed=3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Name() != "rgg2d:n=800,r=0.06,seed=3,chunks=64" {
+		t.Errorf("alias spec resolved to %q", mg.Name())
 	}
 }
