@@ -1,6 +1,7 @@
 package kronvalid
 
 import (
+	"context"
 	"io"
 
 	"kronvalid/internal/census"
@@ -327,7 +328,9 @@ func VerifyEgonet(p *Product, t *VertexStat, v int64, maxDegree int64) (*Egonet,
 // ---- distributed-style generation ----
 
 // GenPlan is a deterministic communication-free partition of the product
-// edge stream across workers.
+// edge stream across workers. It implements the unified Source contract,
+// so it plugs directly into Stream, ToCSR, and WriteShards (ProductSource
+// is the Source-typed spelling of NewGenPlan).
 type GenPlan = distgen.Plan
 
 // GenArc is one directed product edge emitted by a GenPlan shard.
@@ -349,6 +352,10 @@ type ArcSink = stream.Sink
 // StreamOptions tunes the batched pipeline: worker count, batch size, and
 // per-shard read-ahead. The zero value means GOMAXPROCS workers and
 // 4096-arc batches.
+//
+// Deprecated: the unified verbs (Stream, ToCSR, WriteShards) take
+// functional options — WithWorkers, WithBatchSize, WithReadAhead,
+// WithProgress — instead, so new knobs never break signatures.
 type StreamOptions = stream.Options
 
 // CountingSink counts arcs; read N after streaming.
@@ -385,14 +392,25 @@ func ReadTextArcs(r io.Reader) ([]Arc, error) { return gio.ReadArcsText(r) }
 // trailing partial record is a truncation error, never a short list.
 func ReadBinaryArcs(r io.Reader) ([]Arc, error) { return gio.ReadArcsBinary(r) }
 
+// legacyOptions maps a legacy StreamOptions struct onto the functional
+// options of the unified verbs, so every deprecated shim is exactly the
+// new call it documents.
+func legacyOptions(o StreamOptions) []Option {
+	return []Option{
+		WithWorkers(o.Workers),
+		WithBatchSize(o.BatchSize),
+		WithReadAhead(o.Buffer),
+		WithProgress(o.Progress),
+	}
+}
+
 // StreamEdges streams every arc of C = A ⊗ B into sink through the
-// parallel batched pipeline: the product is partitioned into
-// communication-free shards (opts.Workers of them; 0 = GOMAXPROCS) that
-// generate concurrently, while the sink observes batches in canonical
-// EachArc order — the byte stream is identical for every worker count.
-// Returns the number of arcs delivered.
+// parallel batched pipeline. Byte stream and arc count are identical to
+// Stream over ProductSource(p, opts.Workers).
+//
+// Deprecated: use Stream with a ProductSource.
 func StreamEdges(p *Product, opts StreamOptions, sink ArcSink) (int64, error) {
-	return distgen.NewPlan(p, opts.Workers).StreamTo(sink, opts)
+	return Stream(context.Background(), ProductSource(p, opts.Workers), sink, legacyOptions(opts)...)
 }
 
 // ShardManifest describes a WriteSharded output directory: factor
@@ -403,11 +421,14 @@ type ShardManifest = distgen.Manifest
 type WriteShardedOptions = distgen.WriteOptions
 
 // WriteSharded writes the product's edge list into dir as one file per
-// shard plus a manifest.json, generating shards in parallel. Output is
-// bitwise reproducible, and concatenating the shard files in index order
-// reproduces the serial EachArc stream.
+// shard plus a manifest.json, generating shards in parallel. Identical
+// output to WriteShards over ProductSource(p, workers).
+//
+// Deprecated: use WriteShards with a ProductSource.
 func WriteSharded(dir string, p *Product, workers int, opts WriteShardedOptions) (*ShardManifest, error) {
-	return distgen.WriteSharded(dir, distgen.NewPlan(p, workers), opts)
+	return WriteShards(context.Background(), dir, ProductSource(p, workers),
+		WithBinary(opts.Binary), WithWorkers(opts.Workers),
+		WithBatchSize(opts.BatchSize), WithProgress(opts.Progress))
 }
 
 // ReadShardManifest parses the manifest.json of a WriteSharded directory.
@@ -427,7 +448,10 @@ func ReadShardManifest(dir string) (*ShardManifest, error) { return distgen.Read
 type ModelGenerator = model.Generator
 
 // ModelPlan groups a model's randomness chunks into contiguous shards
-// of near-equal expected work; the plan never touches a random draw.
+// of near-equal expected work; the plan never touches a random draw. It
+// implements the unified Source contract, so it plugs directly into
+// Stream, ToCSR, and WriteShards (ModelSource is the Source-typed
+// spelling of NewModelPlan).
 type ModelPlan = model.Plan
 
 // NewGenerator builds a model generator from a spec string, e.g.
@@ -445,38 +469,41 @@ func ModelKinds() []string { return model.Kinds() }
 func NewModelPlan(g ModelGenerator, workers int) *ModelPlan { return model.NewPlan(g, workers) }
 
 // StreamModel streams the model's canonical arcs into sink through the
-// ordered parallel pipeline: shards generate concurrently, the sink
-// observes the canonical stream, and the bytes are identical for every
-// worker count. Returns the number of arcs delivered.
+// ordered parallel pipeline. Byte stream and arc count are identical to
+// Stream over ModelSource(g, opts.Workers).
+//
+// Deprecated: use Stream with a ModelSource.
 func StreamModel(g ModelGenerator, opts StreamOptions, sink ArcSink) (int64, error) {
-	return model.NewPlan(g, opts.Workers).StreamTo(sink, opts)
+	return Stream(context.Background(), ModelSource(g, opts.Workers), sink, legacyOptions(opts)...)
 }
 
-// StreamModelToCSR materializes the model's graph by driving the
-// ordered pipeline into the one-pass CSR accumulator — the streamed
-// models emit strictly canonical arcs, so they feed the sink directly.
+// StreamModelToCSR materializes the model's graph through the one-pass
+// ordered CSR accumulator.
+//
+// Deprecated: use ToCSR with a ModelSource and WithTwoPass(false).
 func StreamModelToCSR(g ModelGenerator, opts StreamOptions) (*CSRGraph, error) {
-	sink := csr.NewSink(g.NumVertices(), g.NumArcs())
-	if _, err := StreamModel(g, opts, sink); err != nil {
-		return nil, err
-	}
-	return sink.Graph()
+	return ToCSR(context.Background(), ModelSource(g, opts.Workers),
+		append(legacyOptions(opts), WithTwoPass(false))...)
 }
 
 // BuildModelCSR materializes the model's graph with the two-pass
 // parallel CSR builder (count → prefix → scatter over the replayable
 // shards); digest-identical to StreamModelToCSR for every worker count.
+//
+// Deprecated: use ToCSR with a ModelSource (two-pass is the default).
 func BuildModelCSR(g ModelGenerator, opts StreamOptions) (*CSRGraph, error) {
-	return model.NewPlan(g, opts.Workers).BuildCSR(opts)
+	return ToCSR(context.Background(), ModelSource(g, opts.Workers), legacyOptions(opts)...)
 }
 
 // WriteShardedModel writes the model's edge list into dir as one file
-// per shard plus a manifest.json whose model field records the spec,
-// generating shards in parallel. Concatenating the shard files in index
-// order reproduces the model's canonical stream for any worker count.
+// per shard plus a manifest.json whose model field records the spec.
+// Identical output to WriteShards over ModelSource(g, workers).
+//
+// Deprecated: use WriteShards with a ModelSource.
 func WriteShardedModel(dir string, g ModelGenerator, workers int, opts WriteShardedOptions) (*ShardManifest, error) {
-	return distgen.WriteShardedSource(dir, model.NewPlan(g, workers),
-		distgen.Manifest{Model: g.Name()}, opts)
+	return WriteShards(context.Background(), dir, ModelSource(g, workers),
+		WithBinary(opts.Binary), WithWorkers(opts.Workers),
+		WithBatchSize(opts.BatchSize), WithProgress(opts.Progress))
 }
 
 // ---- CSR ingestion (the consumption side of the pipeline) ----
@@ -500,27 +527,21 @@ type CSRSink = csr.Sink
 func NewCSRSink(numVertices, arcsHint int64) *CSRSink { return csr.NewSink(numVertices, arcsHint) }
 
 // BuildCSR materializes the adjacency of C = A ⊗ B as a CSRGraph using
-// the parallel two-pass builder: a counting pass over the regenerated
-// communication-free shards, a prefix sum, and a parallel scatter
-// straight into the final arc array. Shards own disjoint source-vertex
-// blocks, so both passes are race- and lock-free, and the result is
-// identical for every worker count (opts.Workers; 0 = GOMAXPROCS).
+// the parallel two-pass builder; identical to ToCSR over
+// ProductSource(p, opts.Workers).
+//
+// Deprecated: use ToCSR with a ProductSource (two-pass is the default).
 func BuildCSR(p *Product, opts StreamOptions) (*CSRGraph, error) {
-	return distgen.NewPlan(p, opts.Workers).BuildCSR(opts)
+	return ToCSR(context.Background(), ProductSource(p, opts.Workers), legacyOptions(opts)...)
 }
 
 // StreamToCSR materializes C = A ⊗ B by driving the ordered parallel
-// pipeline into a one-pass CSR accumulator: shards generate concurrently
-// while the accumulator consumes in canonical order. One generation pass
-// instead of BuildCSR's two, but a serial consumption side — prefer
-// BuildCSR when the product is replayable (it always is) and cores are
-// plentiful.
+// pipeline into a one-pass CSR accumulator.
+//
+// Deprecated: use ToCSR with a ProductSource and WithTwoPass(false).
 func StreamToCSR(p *Product, opts StreamOptions) (*CSRGraph, error) {
-	sink := csr.NewSink(p.NumVertices(), p.NumArcs())
-	if _, err := StreamEdges(p, opts, sink); err != nil {
-		return nil, err
-	}
-	return sink.Graph()
+	return ToCSR(context.Background(), ProductSource(p, opts.Workers),
+		append(legacyOptions(opts), WithTwoPass(false))...)
 }
 
 // WriteCSR serializes a CSRGraph in the one-block binary format

@@ -1,7 +1,7 @@
 package kronvalid
 
 // Benchmark harness: one benchmark per table/figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index and
+// evaluation (see DESIGN.md §5 for the experiment index and
 // EXPERIMENTS.md for recorded results). Run with:
 //
 //	go test -bench=. -benchmem

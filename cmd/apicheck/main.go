@@ -1,0 +1,201 @@
+// Apicheck renders the exported API surface of the root kronvalid
+// package — every exported const, var, type, function, and method
+// signature, comments stripped — as a deterministic sorted text listing,
+// and (with -check) diffs it against the committed golden API.txt.
+//
+// The golden file turns accidental breakage into a CI failure: removing
+// an exported symbol or changing a signature changes the listing, so the
+// change only lands if API.txt is regenerated in the same commit — an
+// explicit, reviewable act. Regenerate with:
+//
+//	go run ./cmd/apicheck > API.txt
+//
+// Check (what CI runs) with:
+//
+//	go run ./cmd/apicheck -check API.txt
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apicheck: ")
+	dir := flag.String("dir", ".", "package directory to inspect")
+	check := flag.String("check", "", "golden file to compare against (empty = print listing)")
+	flag.Parse()
+
+	listing, err := apiListing(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *check == "" {
+		fmt.Print(listing)
+		return
+	}
+	golden, err := os.ReadFile(*check)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if string(golden) == listing {
+		fmt.Printf("apicheck: API surface matches %s (%d entries)\n", *check, strings.Count(listing, "\n"))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: exported API surface differs from %s.\n", *check)
+	fmt.Fprint(os.Stderr, diffLines(string(golden), listing))
+	fmt.Fprintln(os.Stderr, "\nIf the change is intentional, regenerate the golden with:")
+	fmt.Fprintln(os.Stderr, "\tgo run ./cmd/apicheck > API.txt")
+	os.Exit(1)
+}
+
+// apiListing parses the package's non-test files and renders one sorted
+// entry per exported declaration.
+func apiListing(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				entries = append(entries, declEntries(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n", nil
+}
+
+// declEntries renders the exported parts of one top-level declaration.
+func declEntries(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || (d.Recv != nil && !exportedRecv(d.Recv)) {
+			return nil
+		}
+		sig := *d
+		sig.Body = nil
+		sig.Doc = nil
+		return []string{render(fset, &sig)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				c := *s
+				c.Doc, c.Comment = nil, nil
+				stripComments(&c)
+				out = append(out, "type "+render(fset, &c))
+			case *ast.ValueSpec:
+				var names []*ast.Ident
+				for _, n := range s.Names {
+					if n.IsExported() {
+						names = append(names, n)
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				c := *s
+				c.Doc, c.Comment = nil, nil
+				c.Names = names
+				out = append(out, kw+" "+render(fset, &c))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method receiver's base type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// stripComments nils every doc comment nested inside a type spec (struct
+// fields, interface methods), so comment edits never churn the golden.
+func stripComments(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if f, ok := node.(*ast.Field); ok {
+			f.Doc, f.Comment = nil, nil
+		}
+		return true
+	})
+}
+
+// render formats a node with go/format and collapses it to one line per
+// entry (inner newlines become "; " separators so multi-line types stay
+// a single sortable entry).
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, node); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(l)
+	}
+	return strings.Join(lines, " ")
+}
+
+// diffLines renders a minimal line diff: lines only in want prefixed
+// with "-" (removed from the golden), lines only in got with "+".
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -1,12 +1,14 @@
 // Gengen streams or shards the edge list of any registered random graph
 // model (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu, random geometric 2D/3D,
-// Barabási–Albert) through the communication-free batched pipeline:
-// randomness lives in cells derived from (seed, cell id) — pair-range
-// chunks, geometric grid cells, or per-edge hash positions — so output
-// is bitwise identical for any worker count, even for the models with
-// cross-chunk dependence (rgg regenerates neighbor cells, ba retraces
-// per-edge dependency chains). The model-agnostic counterpart of
-// krongen.
+// Barabási–Albert) through the unified Source pipeline: randomness lives
+// in cells derived from (seed, cell id) — pair-range chunks, geometric
+// grid cells, or per-edge hash positions — so output is bitwise
+// identical for any worker count, even for the models with cross-chunk
+// dependence (rgg regenerates neighbor cells, ba retraces per-edge
+// dependency chains). The model-agnostic counterpart of krongen.
+// Interrupting a long generation (SIGINT/SIGTERM) cancels it cleanly:
+// sharded output directories are left without a manifest.json, the
+// marker readers require.
 //
 // Usage:
 //
@@ -17,6 +19,7 @@
 //	gengen -model 'ba(n=100000;d=4)' -shards 8 -out dir/           # KaGen-style spec alias
 //	gengen -model 'chunglu:n=100000,dmax=300' -csr graph.csr       # two-pass parallel CSR build
 //	gengen -model 'er:n=100000,p=0.001' -count                     # sizes only
+//	gengen -model 'er:n=100000,p=0.001' -digest                    # stream digest only
 //	gengen -kinds                                                  # list registered models (sorted)
 //
 // Spec grammar: kind:key=value,key=value,… (or kind(key=value;…)).
@@ -28,14 +31,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"kronvalid"
+	"kronvalid/internal/cliutil"
 )
 
 func main() {
@@ -47,6 +54,8 @@ func main() {
 	useBinary := flag.Bool("binary", false, "write 16-byte binary arcs instead of TSV (needs -out)")
 	csrPath := flag.String("csr", "", "build CSR with the two-pass parallel builder and write it here (KRONCSR1)")
 	countOnly := flag.Bool("count", false, "print sizes and exit without generating")
+	digestOnly := flag.Bool("digest", false, "print the canonical stream digest and exit")
+	progress := flag.Bool("progress", false, "report generation progress on stderr")
 	listKinds := flag.Bool("kinds", false, "list registered model kinds and exit")
 	flag.Parse()
 
@@ -66,19 +75,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	src := kronvalid.ModelSource(g, *shards)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	var opts []kronvalid.Option
+	progressDone := func() {}
+	if *progress {
+		report, done := cliutil.ProgressReporter(os.Stderr, src.TotalArcs())
+		progressDone = done
+		opts = append(opts, kronvalid.WithProgress(report))
+	}
 
 	if *countOnly {
-		plan := kronvalid.NewModelPlan(g, *shards)
-		fmt.Printf("model\t%s\n", g.Name())
-		fmt.Printf("vertices\t%d\n", g.NumVertices())
-		if arcs := g.NumArcs(); arcs >= 0 {
+		fmt.Printf("model\t%s\n", src.Name())
+		fmt.Printf("vertices\t%d\n", src.NumVertices())
+		if arcs := src.TotalArcs(); arcs >= 0 {
 			fmt.Printf("arcs\t%d\n", arcs)
 		} else {
 			fmt.Printf("arcs\tunknown until generated\n")
 		}
-		for w := 0; w < plan.Shards(); w++ {
-			lo, hi := plan.VertexRange(w)
-			if n := plan.ShardSize(w); n >= 0 {
+		for w := 0; w < src.Shards(); w++ {
+			lo, hi := src.VertexRange(w)
+			if n := src.ShardSize(w); n >= 0 {
 				fmt.Printf("shard-%d\tvertices [%d,%d)\t%d arcs\n", w, lo, hi, n)
 			} else {
 				fmt.Printf("shard-%d\tvertices [%d,%d)\n", w, lo, hi)
@@ -87,8 +106,19 @@ func main() {
 		return
 	}
 
+	if *digestOnly {
+		d, err := kronvalid.Digest(ctx, src, opts...)
+		progressDone()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\t%s\n", d, src.Name())
+		return
+	}
+
 	if *csrPath != "" {
-		cg, err := kronvalid.BuildModelCSR(g, kronvalid.StreamOptions{Workers: *shards})
+		cg, err := kronvalid.ToCSR(ctx, src, opts...)
+		progressDone()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,14 +145,16 @@ func main() {
 			log.Fatal("-binary needs -out DIR")
 		}
 		sink := kronvalid.NewEdgeListSink(os.Stdout)
-		if _, err := kronvalid.StreamModel(g, kronvalid.StreamOptions{Workers: *shards}, sink); err != nil {
+		_, err := kronvalid.Stream(ctx, src, sink, opts...)
+		progressDone()
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	m, err := kronvalid.WriteShardedModel(*outDir, g, *shards,
-		kronvalid.WriteShardedOptions{Binary: *useBinary})
+	m, err := kronvalid.WriteShards(ctx, *outDir, src, append(opts, kronvalid.WithBinary(*useBinary))...)
+	progressDone()
 	if err != nil {
 		log.Fatal(err)
 	}

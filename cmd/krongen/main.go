@@ -1,6 +1,9 @@
 // Krongen streams or shards the edge list of a Kronecker product graph
-// C = A ⊗ B built from two factor specifications, using the batched
-// parallel pipeline (output is bitwise identical for any worker count).
+// C = A ⊗ B built from two factor specifications, using the unified
+// Source pipeline (output is bitwise identical for any worker count).
+// Interrupting a long generation (SIGINT/SIGTERM) cancels it cleanly:
+// sharded output directories are left without a manifest.json, the
+// marker readers require.
 //
 // Usage:
 //
@@ -8,17 +11,23 @@
 //	krongen -a ... -b ... -shards 16 -out dir/      # shard files + manifest.json
 //	krongen -a ... -b ... -shards 16 -out dir/ -binary
 //	krongen -a ... -b ... -count                    # sizes only
+//	krongen -a ... -b ... -digest                   # stream digest only
+//	krongen -a ... -b ... -shards 16 -out dir/ -progress
 //
 // See package internal/spec for the factor specification grammar.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"kronvalid"
+	"kronvalid/internal/cliutil"
 	"kronvalid/internal/spec"
 )
 
@@ -31,6 +40,8 @@ func main() {
 	outDir := flag.String("out", "", "output directory for shard files (default: stdout stream)")
 	useBinary := flag.Bool("binary", false, "write 16-byte binary arcs instead of TSV (needs -out)")
 	countOnly := flag.Bool("count", false, "print sizes and exit without generating")
+	digestOnly := flag.Bool("digest", false, "print the canonical stream digest and exit")
+	progress := flag.Bool("progress", false, "report generation progress on stderr")
 	flag.Parse()
 
 	if *aSpec == "" || *bSpec == "" {
@@ -48,14 +59,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	src := kronvalid.ProductSource(p, *shards)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	var opts []kronvalid.Option
+	progressDone := func() {}
+	if *progress {
+		report, done := cliutil.ProgressReporter(os.Stderr, src.TotalArcs())
+		progressDone = done
+		opts = append(opts, kronvalid.WithProgress(report))
+	}
 
 	if *countOnly {
-		plan := kronvalid.NewGenPlan(p, *shards)
+		fmt.Printf("source\t%s\n", src.Name())
 		fmt.Printf("vertices\t%d\n", p.NumVertices())
 		fmt.Printf("arcs\t%d\n", p.NumArcs())
-		for w := 0; w < plan.Workers(); w++ {
-			fmt.Printf("shard-%d\t%d\n", w, plan.ShardSize(w))
+		for w := 0; w < src.Shards(); w++ {
+			fmt.Printf("shard-%d\t%d\n", w, src.ShardSize(w))
 		}
+		return
+	}
+
+	if *digestOnly {
+		d, err := kronvalid.Digest(ctx, src, opts...)
+		progressDone()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\t%s\n", d, src.Name())
 		return
 	}
 
@@ -66,14 +98,16 @@ func main() {
 			log.Fatal("-binary needs -out DIR")
 		}
 		sink := kronvalid.NewEdgeListSink(os.Stdout)
-		if _, err := kronvalid.StreamEdges(p, kronvalid.StreamOptions{Workers: *shards}, sink); err != nil {
+		_, err := kronvalid.Stream(ctx, src, sink, opts...)
+		progressDone()
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	m, err := kronvalid.WriteSharded(*outDir, p, *shards,
-		kronvalid.WriteShardedOptions{Binary: *useBinary})
+	m, err := kronvalid.WriteShards(ctx, *outDir, src, append(opts, kronvalid.WithBinary(*useBinary))...)
+	progressDone()
 	if err != nil {
 		log.Fatal(err)
 	}

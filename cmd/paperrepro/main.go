@@ -1,5 +1,5 @@
 // Paperrepro regenerates every table and figure of the paper's
-// evaluation, printing paper-style output. Experiments (see DESIGN.md §4
+// evaluation, printing paper-style output. Experiments (see DESIGN.md §5
 // for the index):
 //
 //	table1   §VI statistics table (A, B=A+I, A⊗A, A⊗B) + timing      [E1,E10]

@@ -30,26 +30,48 @@
 //	t, _ := kronvalid.VertexParticipation(p)          // exact t_C, lazily evaluated
 //	total, _ := kronvalid.TriangleTotal(p)            // exact τ(C)
 //
-//	// Stream the edges through the batched parallel pipeline (output is
-//	// bytewise identical for any worker count):
+// # The unified Source pipeline
+//
+// Every generator — Kronecker products and the classical random models
+// (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu, random geometric 2D/3D,
+// Barabási–Albert) — is one Source: a set of communication-free,
+// replayable shards whose concatenation is the canonical edge stream,
+// byte-identical for every worker count. One verb set drives any Source,
+// with a context for cancellation and functional options for tuning:
+//
+//	ctx := context.Background()
+//	src := kronvalid.ProductSource(p, 16)             // or: kronvalid.ModelSource(g, 16)
+//
+//	// Stream the edges through the ordered parallel pipeline:
 //	var n kronvalid.CountingSink
-//	kronvalid.StreamEdges(p, kronvalid.StreamOptions{}, &n)
+//	kronvalid.Stream(ctx, src, &n)
 //
-//	// Or shard them to disk with a reproducibility manifest:
-//	kronvalid.WriteSharded("out/", p, 16, kronvalid.WriteShardedOptions{})
+//	// Shard them to disk with a reproducibility manifest recording the
+//	// source's identity (Name()); aborts leave no manifest behind:
+//	kronvalid.WriteShards(ctx, "out/", src, kronvalid.WithBinary(true))
 //
-//	// Or materialize a validation-scale product as CSR adjacency via the
-//	// parallel two-pass builder (digest-identical for any worker count):
-//	small := kronvalid.MustProduct(kronvalid.WebGraph(1<<12, 3, 0.7, 42), kronvalid.Clique(16))
-//	g, _ := kronvalid.BuildCSR(small, kronvalid.StreamOptions{})
+//	// Materialize CSR adjacency — two-pass parallel builder by default,
+//	// one-pass ordered accumulation via WithTwoPass(false), identical
+//	// results either way:
+//	g, _ := kronvalid.ToCSR(ctx, src, kronvalid.WithWorkers(8))
 //
-//	// The same communication-free sharding carries the classical random
-//	// models (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu): one spec string,
-//	// byte-identical shards for every worker count, CSR-ready streams.
+//	// Count and fingerprint without materializing anything; the digest
+//	// equals CSRDigest of the materialized graph:
+//	arcs, _ := kronvalid.Count(ctx, src)
+//	d, _ := kronvalid.Digest(ctx, src)
+//	_, _, _ = g, arcs, d
+//
+//	// Random models come from spec strings; the same verbs apply.
 //	er, _ := kronvalid.NewGenerator("er:n=100000,p=0.001,seed=42")
-//	kronvalid.StreamModel(er, kronvalid.StreamOptions{}, &n)
-//	cg, _ := kronvalid.BuildModelCSR(er, kronvalid.StreamOptions{})
-//	_ = cg
+//	kronvalid.Stream(ctx, kronvalid.ModelSource(er, 0), &n,
+//		kronvalid.WithProgress(func(arcs, shards int64) { /* report */ }))
+//
+// Long generations are cancellable mid-shard: cancelling the context
+// stops the pipeline within one batch, joins every worker, and returns
+// ctx.Err(). The legacy verb pairs (StreamEdges/StreamModel,
+// BuildCSR/BuildModelCSR, StreamToCSR/StreamModelToCSR,
+// WriteSharded/WriteShardedModel) remain as deprecated digest-identical
+// shims over these verbs; see DESIGN.md §3 for the migration table.
 //
 // See README.md for a package map, the examples directory for runnable
 // programs, and DESIGN.md / EXPERIMENTS.md for the paper-reproduction

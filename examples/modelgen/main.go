@@ -1,10 +1,12 @@
-// Modelgen demonstrates the model-agnostic communication-free generator
-// layer: one spec string picks any registered random model, the sharded
-// stream is byte-identical for every worker count, and the same stream
-// feeds the parallel CSR builder directly.
+// Modelgen demonstrates the model-agnostic side of the unified Source
+// pipeline: one spec string picks any registered random model, the same
+// verbs that drive Kronecker products stream and materialize it, the
+// sharded stream is byte-identical for every worker count, and the
+// streamed Digest equals the digest of the materialized CSR.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	for _, spec := range []string{
 		"er:n=100000,p=0.0002,seed=42",
 		"gnm:n=100000,m=1000000,seed=42",
@@ -22,19 +25,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Stream once through the ordered pipeline, counting arcs.
-		var count kronvalid.CountingSink
-		if _, err := kronvalid.StreamModel(g, kronvalid.StreamOptions{}, &count); err != nil {
-			log.Fatal(err)
-		}
-		// Materialize with the two-pass parallel builder; the digest is
-		// identical for every worker count.
-		csr, err := kronvalid.BuildModelCSR(g, kronvalid.StreamOptions{})
+		src := kronvalid.ModelSource(g, 0)
+		// Count streams once when the model only fixes the arc count in
+		// expectation, and is free when the source knows it exactly.
+		arcs, err := kronvalid.Count(ctx, src)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Materialize with the two-pass parallel builder (the ToCSR
+		// default); the digest is identical for every worker count —
+		// and identical to the streamed Digest of the same source.
+		csr, err := kronvalid.ToCSR(ctx, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streamed, err := kronvalid.Digest(ctx, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got := kronvalid.CSRDigest(csr); got != streamed {
+			log.Fatalf("%s: streamed digest %s != CSR digest %s", src.Name(), streamed, got)
+		}
 		maxDeg, hub := csr.MaxOutDegree()
 		fmt.Printf("%-50s  %8d vertices  %9d arcs  max out-degree %d (vertex %d)  digest %s\n",
-			g.Name(), csr.NumVertices(), count.N, maxDeg, hub, kronvalid.CSRDigest(csr))
+			src.Name(), csr.NumVertices(), arcs, maxDeg, hub, streamed)
 	}
 }

@@ -6,6 +6,7 @@ package kronvalid
 // structure-oblivious recomputation on every randomly drawn product.
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -124,9 +125,12 @@ func TestQuickDirectedEndToEnd(t *testing.T) {
 	}
 }
 
-// TestQuickShardingConsistency draws random products and asserts sharded
-// generation always reproduces the serial stream.
+// TestQuickShardingConsistency draws random products and asserts the
+// unified Source pipeline is self-consistent: per-shard sizes sum to the
+// product's arc count, Count and Stream agree, and the streamed Digest
+// equals the digest of the materialized CSR for a random shard count.
 func TestQuickShardingConsistency(t *testing.T) {
+	ctx := context.Background()
 	f := func(seed uint64, workersRaw uint8) bool {
 		g := rng.New(seed)
 		a := drawFactor(g)
@@ -135,13 +139,32 @@ func TestQuickShardingConsistency(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		workers := 1 + int(workersRaw)%12
-		plan := NewGenPlan(p, workers)
+		shards := 1 + int(workersRaw)%12
+		src := ProductSource(p, shards)
 		var sharded int64
-		for w := 0; w < plan.Workers(); w++ {
-			sharded += plan.ShardSize(w)
+		for w := 0; w < src.Shards(); w++ {
+			sharded += src.ShardSize(w)
 		}
-		return sharded == p.NumArcs()
+		if sharded != p.NumArcs() {
+			return false
+		}
+		n, err := Count(ctx, src)
+		if err != nil || n != p.NumArcs() {
+			return false
+		}
+		var count CountingSink
+		if _, err := Stream(ctx, src, &count); err != nil || count.N != n {
+			return false
+		}
+		cg, err := ToCSR(ctx, src)
+		if err != nil {
+			return false
+		}
+		d, err := Digest(ctx, src)
+		if err != nil {
+			return false
+		}
+		return d == CSRDigest(cg)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

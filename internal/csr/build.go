@@ -1,7 +1,9 @@
 package csr
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"kronvalid/internal/par"
@@ -29,16 +31,28 @@ type Source struct {
 	Generate stream.ShardGen
 }
 
-// Build materializes the source as a CSR graph with the parallel two-pass
-// scheme: a counting pass accumulates per-vertex out-degrees, a prefix
-// sum turns them into row offsets, and a scatter pass regenerates the
-// stream and writes each arc into its final slot. Shards run concurrently
-// in both passes; because each shard owns a disjoint source-vertex range,
-// its counter increments and arc writes are confined to rows no other
-// shard touches — no atomics, no sorting, and a result identical for
-// every worker count. opts.Workers bounds shard concurrency
-// (0 = GOMAXPROCS); opts.BatchSize sets the regeneration batch size.
+// Build materializes the source with a background context. See
+// BuildContext.
 func Build(src Source, opts stream.Options) (*Graph, error) {
+	return BuildContext(context.Background(), src, opts)
+}
+
+// BuildContext materializes the source as a CSR graph with the parallel
+// two-pass scheme: a counting pass accumulates per-vertex out-degrees, a
+// prefix sum turns them into row offsets, and a scatter pass regenerates
+// the stream and writes each arc into its final slot. Shards run
+// concurrently in both passes; because each shard owns a disjoint
+// source-vertex range, its counter increments and arc writes are
+// confined to rows no other shard touches — no atomics, no sorting, and
+// a result identical for every worker count. opts.Workers bounds shard
+// concurrency (0 = GOMAXPROCS); opts.BatchSize sets the regeneration
+// batch size; opts.Progress, if set, reports the scatter pass (the one
+// that assembles the graph), with calls serialized across shards.
+//
+// Cancelling ctx aborts whichever pass is running within one batch per
+// shard, joins every worker, and returns ctx.Err(); no partially
+// scattered graph is ever returned.
+func BuildContext(ctx context.Context, src Source, opts stream.Options) (*Graph, error) {
 	n := src.NumVertices
 	if n < 0 {
 		return nil, fmt.Errorf("csr: negative vertex count %d", n)
@@ -61,7 +75,7 @@ func Build(src Source, opts stream.Options) (*Graph, error) {
 	// one ranged-check and one memory update per row per batch.
 	degrees := make([]int64, n+1) // one spare slot so degrees[1:] can become offsets
 	counts := make([]int64, src.Shards)
-	if err := forShards(src, workers, batch, func(w int, lo, hi int64, arcs []stream.Arc) error {
+	if err := forShards(ctx, src, workers, batch, func(w int, lo, hi int64, arcs []stream.Arc) error {
 		u := int64(-1)
 		var run int64
 		for _, a := range arcs {
@@ -82,7 +96,7 @@ func Build(src Source, opts stream.Options) (*Graph, error) {
 		}
 		counts[w] += int64(len(arcs))
 		return nil
-	}); err != nil {
+	}, nil); err != nil {
 		return nil, err
 	}
 
@@ -105,7 +119,21 @@ func Build(src Source, opts stream.Options) (*Graph, error) {
 	next := make([]int64, n)
 	copy(next, offsets[:n])
 	recount := make([]int64, src.Shards)
-	if err := forShards(src, workers, batch, func(w int, lo, hi int64, arcs []stream.Arc) error {
+	var progMu sync.Mutex
+	var progArcs, progShards int64
+	progress := func(addArcs int64, shardDone bool) {
+		if opts.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		progArcs += addArcs
+		if shardDone {
+			progShards++
+		}
+		opts.Progress(progArcs, progShards)
+		progMu.Unlock()
+	}
+	if err := forShards(ctx, src, workers, batch, func(w int, lo, hi int64, arcs []stream.Arc) error {
 		u := int64(-1)
 		var cursor, end int64
 		for _, a := range arcs {
@@ -130,8 +158,9 @@ func Build(src Source, opts stream.Options) (*Graph, error) {
 			next[u] = cursor
 		}
 		recount[w] += int64(len(arcs))
+		progress(int64(len(arcs)), false)
 		return nil
-	}); err != nil {
+	}, func(int) { progress(0, true) }); err != nil {
 		return nil, err
 	}
 	for w := range counts {
@@ -144,10 +173,12 @@ func Build(src Source, opts stream.Options) (*Graph, error) {
 
 // forShards runs consume over every batch of every shard, shards claimed
 // dynamically by up to `workers` goroutines. consume is called from the
-// goroutine generating shard w; the first error stops all generation.
-func forShards(src Source, workers, batchSize int, consume func(w int, lo, hi int64, arcs []stream.Arc) error) error {
+// goroutine generating shard w; the first error — or a context
+// cancellation, checked once per batch — stops all generation. shardDone,
+// if non-nil, is called after each shard completes without error.
+func forShards(ctx context.Context, src Source, workers, batchSize int, consume func(w int, lo, hi int64, arcs []stream.Arc) error, shardDone func(w int)) error {
 	if src.Shards == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers > src.Shards {
 		workers = src.Shards
@@ -162,8 +193,18 @@ func forShards(src Source, workers, batchSize int, consume func(w int, lo, hi in
 			if w >= src.Shards || failed.Load() {
 				return
 			}
+			if err := ctx.Err(); err != nil {
+				errs[w] = err
+				failed.Store(true)
+				return
+			}
 			lo, hi := src.VertexRange(w)
 			src.Generate(w, buf, func(full []stream.Arc) []stream.Arc {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return nil
+				}
 				if err := consume(w, lo, hi, full); err != nil {
 					errs[w] = err
 					failed.Store(true)
@@ -171,6 +212,9 @@ func forShards(src Source, workers, batchSize int, consume func(w int, lo, hi in
 				}
 				return full[:0]
 			})
+			if errs[w] == nil && shardDone != nil {
+				shardDone(w)
+			}
 		}
 	})
 	for _, err := range errs {

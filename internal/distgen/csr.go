@@ -12,16 +12,12 @@ import (
 // can be regenerated at any time — so both builder passes replay the
 // same bytes and never contend on a row.
 func (pl *Plan) CSRSource() csr.Source {
-	nB := int64(pl.p.B.NumVertices())
 	return csr.Source{
 		NumVertices: pl.p.NumVertices(),
 		NumArcs:     pl.TotalArcs(),
 		Shards:      pl.workers,
-		VertexRange: func(w int) (int64, int64) {
-			lo, hi := pl.RowRange(w)
-			return int64(lo) * nB, int64(hi) * nB
-		},
-		Generate: pl.EachShardBatch,
+		VertexRange: pl.VertexRange,
+		Generate:    pl.EachShardBatch,
 	}
 }
 

@@ -1,6 +1,7 @@
 package distgen
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,13 +37,22 @@ type Manifest struct {
 	// (with the factor digests below), else a model spec string such as
 	// "er:n=100000,p=0.001,seed=42,chunks=64". Empty in manifests
 	// written before the model-agnostic layer, which were always kron.
-	Model         string      `json:"model,omitempty"`
+	Model string `json:"model,omitempty"`
+	// Source is the stream.Source Name() of the generator that wrote the
+	// directory — the uniform identity every source carries (kron plans
+	// spell their factor digests, model plans their spec string). Empty
+	// in manifests written before the unified Source API.
+	Source        string      `json:"source,omitempty"`
 	FactorADigest string      `json:"factor_a_digest,omitempty"`
 	FactorBDigest string      `json:"factor_b_digest,omitempty"`
 	Vertices      int64       `json:"vertices"`
 	TotalArcs     int64       `json:"total_arcs"`
 	Workers       int         `json:"workers"`
 	Shards        []ShardInfo `json:"shards"`
+	// Extra carries caller-supplied annotation key/values (provenance,
+	// experiment tags); the writer records them verbatim and readers
+	// ignore unknown keys.
+	Extra map[string]string `json:"extra,omitempty"`
 }
 
 // Validate checks the structural invariants every writer-produced
@@ -86,24 +96,10 @@ func (m *Manifest) Validate() error {
 }
 
 // StreamSource is the writer-side contract of any communication-free
-// sharded generator: a fixed number of replayable shards, each streaming
-// its arcs in deterministic order. Both the Kronecker Plan and the
-// model-layer plans satisfy it, which is what makes WriteShardedSource
-// generator-agnostic.
-type StreamSource interface {
-	// NumVertices returns the vertex-id space of the stream.
-	NumVertices() int64
-	// TotalArcs returns the exact total arc count, or -1 when unknown
-	// ahead of generation.
-	TotalArcs() int64
-	// Shards returns the number of shards.
-	Shards() int
-	// ShardSize returns the exact arc count of shard w, or -1 when
-	// unknown ahead of generation.
-	ShardSize(w int) int64
-	// EachShardBatch streams shard w under the stream.ShardGen contract.
-	EachShardBatch(w int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc))
-}
+// sharded generator — now the unified stream.Source interface shared by
+// the whole pipeline. Both the Kronecker Plan and the model-layer plans
+// satisfy it, which is what makes WriteShardedSource generator-agnostic.
+type StreamSource = stream.Source
 
 // WriteOptions configures WriteSharded.
 type WriteOptions struct {
@@ -115,6 +111,9 @@ type WriteOptions struct {
 	Workers int
 	// BatchSize is the arcs-per-batch of the pipeline (0 = default).
 	BatchSize int
+	// Progress, when non-nil, receives cumulative (arcs written, shards
+	// completed) updates; calls are serialized across shard writers.
+	Progress func(arcs, shardsDone int64)
 }
 
 // closableSink pairs a stream sink with the file it writes so the driver
@@ -125,6 +124,26 @@ type closableSink struct {
 }
 
 func (c closableSink) Close() error { return c.f.Close() }
+
+// shardSink annotates every error a shard's writer sink produces with
+// the failing shard's index, so an I/O failure in one of many
+// concurrently written files is attributable from the returned error
+// alone.
+type shardSink struct {
+	inner closableSink
+	w     int
+}
+
+func (s shardSink) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("distgen: shard %d: %w", s.w, err)
+}
+
+func (s shardSink) Consume(batch []stream.Arc) error { return s.wrap(s.inner.Consume(batch)) }
+func (s shardSink) Flush() error                     { return s.wrap(s.inner.Flush()) }
+func (s shardSink) Close() error                     { return s.wrap(s.inner.Close()) }
 
 // ShardFileName returns the canonical shard file name for index w.
 func ShardFileName(w int, binary bool) string {
@@ -145,14 +164,26 @@ func WriteSharded(dir string, pl *Plan, opts WriteOptions) (*Manifest, error) {
 	}, opts)
 }
 
-// WriteShardedSource writes every shard of the source into dir (one file
-// per shard, written in parallel) plus a manifest.json carrying the
-// identity fields of base (Model and factor digests), and returns the
-// completed manifest. Output is bitwise reproducible: the partition and
-// each shard's byte stream depend only on the source, never on
-// scheduling — and concatenating the shard files in index order
-// reproduces the source's serial stream.
+// WriteShardedSource writes every shard of the source with a background
+// context. See WriteShardedSourceContext.
 func WriteShardedSource(dir string, src StreamSource, base Manifest, opts WriteOptions) (*Manifest, error) {
+	return WriteShardedSourceContext(context.Background(), dir, src, base, opts)
+}
+
+// WriteShardedSourceContext writes every shard of the source into dir
+// (one file per shard, written in parallel) plus a manifest.json
+// carrying the identity fields of base (Model, factor digests, Extra)
+// and the source's Name(), and returns the completed manifest. Output is
+// bitwise reproducible: the partition and each shard's byte stream
+// depend only on the source, never on scheduling — and concatenating the
+// shard files in index order reproduces the source's serial stream.
+//
+// The manifest is the directory's commit record, written last and only
+// on full success: on any error — a sink write failure (reported with
+// the failing shard's index) or a context cancellation — the directory
+// is left without a manifest.json, so readers can never mistake partial
+// shard files for a complete stream.
+func WriteShardedSourceContext(ctx context.Context, dir string, src StreamSource, base Manifest, opts WriteOptions) (*Manifest, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -163,11 +194,11 @@ func WriteShardedSource(dir string, src StreamSource, base Manifest, opts WriteO
 		return nil, err
 	}
 	shards := src.Shards()
-	counts, err := stream.RunPerShard(shards, src.EachShardBatch,
+	counts, err := stream.RunPerShardContext(ctx, shards, src.EachShardBatch,
 		func(w int) (stream.Sink, error) {
 			f, ferr := os.Create(filepath.Join(dir, ShardFileName(w, opts.Binary)))
 			if ferr != nil {
-				return nil, ferr
+				return nil, fmt.Errorf("distgen: shard %d: %w", w, ferr)
 			}
 			var s stream.Sink
 			if opts.Binary {
@@ -175,13 +206,14 @@ func WriteShardedSource(dir string, src StreamSource, base Manifest, opts WriteO
 			} else {
 				s = gio.NewArcTextWriter(f)
 			}
-			return closableSink{Sink: s, f: f}, nil
+			return shardSink{inner: closableSink{Sink: s, f: f}, w: w}, nil
 		},
-		stream.Options{Workers: opts.Workers, BatchSize: opts.BatchSize})
+		stream.Options{Workers: opts.Workers, BatchSize: opts.BatchSize, Progress: opts.Progress})
 	if err != nil {
 		return nil, err
 	}
 	m := &base
+	m.Source = src.Name()
 	m.Format = "tsv"
 	if opts.Binary {
 		m.Format = "binary"

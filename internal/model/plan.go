@@ -47,6 +47,11 @@ func NewPlan(g Generator, shards int) *Plan {
 // Generator returns the planned generator.
 func (pl *Plan) Generator() Generator { return pl.g }
 
+// Name returns the generator's canonical spec string — the stable
+// stream.Source identity: feeding it back through New reproduces the
+// identical stream, independent of how this plan groups chunks.
+func (pl *Plan) Name() string { return pl.g.Name() }
+
 // Shards returns the number of non-empty shards.
 func (pl *Plan) Shards() int { return len(pl.ranges) }
 

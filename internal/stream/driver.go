@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -8,14 +9,28 @@ import (
 	"kronvalid/internal/par"
 )
 
-// Run drives a sharded generator into a single sink. Shards are generated
-// concurrently (up to opts.Workers at a time, claimed in index order) but
-// their batches are delivered to the sink strictly in shard order
-// 0, 1, …, shards-1 — so the byte stream a sink observes is identical for
-// every worker count, the property that makes sharded generation
-// verifiable against the serial stream. Returns the number of arcs
-// consumed and the first sink error (generation stops early on error).
+// Run drives a sharded generator into a single sink with a background
+// context. See RunContext.
 func Run(shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
+	return RunContext(context.Background(), shards, gen, sink, opts)
+}
+
+// RunContext drives a sharded generator into a single sink. Shards are
+// generated concurrently (up to opts.Workers at a time, claimed in index
+// order) but their batches are delivered to the sink strictly in shard
+// order 0, 1, …, shards-1 — so the byte stream a sink observes is
+// identical for every worker count, the property that makes sharded
+// generation verifiable against the serial stream. Returns the number of
+// arcs consumed and the first sink error (generation stops early on
+// error).
+//
+// Cancelling ctx stops the stream promptly — within one batch delivery —
+// and RunContext returns ctx.Err(). Workers are always joined before
+// returning (no goroutine outlives the call), and the sink's Flush is
+// still invoked exactly once so buffered partial output is in a
+// consistent state; the arc count reflects only the batches delivered
+// before cancellation.
+func RunContext(ctx context.Context, shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
 	o := opts.withDefaults()
 	if o.Workers <= 0 {
 		o.Workers = par.MaxWorkers()
@@ -23,8 +38,12 @@ func Run(shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
 	if shards <= 0 {
 		return 0, sink.Flush()
 	}
+	if err := ctx.Err(); err != nil {
+		sink.Flush()
+		return 0, err
+	}
 	if o.Workers == 1 || shards == 1 {
-		return runSerial(shards, gen, sink, o)
+		return runSerial(ctx, shards, gen, sink, o)
 	}
 
 	chans := make([]chan []Arc, shards)
@@ -33,6 +52,22 @@ func Run(shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
 	}
 	stop := make(chan struct{})
 	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	// A cancelled context halts the producers immediately — even while
+	// the consumer is blocked waiting on a slow shard — so cancellation
+	// latency is bounded by one in-flight batch, not by the remaining
+	// stream. done releases the watcher when the stream ends first.
+	done := make(chan struct{})
+	defer close(done)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				halt()
+			case <-done:
+			}
+		}()
+	}
 	pool := sync.Pool{New: func() any {
 		s := make([]Arc, 0, o.BatchSize)
 		return &s
@@ -73,47 +108,85 @@ func Run(shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
 		}()
 	}
 
-	var n int64
+	// Consume batches in shard order. Every receive also selects on stop,
+	// so a cancellation observed by the watcher wakes the consumer even
+	// while it waits on a slow or never-claimed shard; producers blocked
+	// in emit exit through the same stop channel, so nothing needs to be
+	// drained after an abort.
+	var n, shardsDone int64
 	var err error
+consume:
 	for w := 0; w < shards; w++ {
-		if int64(w) >= next.Load() && err != nil {
-			break // shard never claimed: producers have shut down
+		if err = ctx.Err(); err != nil {
+			break
 		}
-		for batch := range chans[w] {
-			if err != nil {
-				putBuf(batch)
-				continue // drain so blocked producers can exit
+		for {
+			var batch []Arc
+			var ok bool
+			select {
+			case batch, ok = <-chans[w]:
+			case <-stop:
+				err = ctx.Err()
+				break consume
+			}
+			if !ok {
+				break // shard w complete
+			}
+			if err = ctx.Err(); err != nil {
+				break consume
 			}
 			if cerr := sink.Consume(batch); cerr != nil {
 				err = cerr
-				stopOnce.Do(func() { close(stop) })
-			} else {
-				n += int64(len(batch))
+				halt()
+				break consume
 			}
+			n += int64(len(batch))
 			putBuf(batch)
+			if o.Progress != nil {
+				o.Progress(n, shardsDone)
+			}
+		}
+		shardsDone++
+		if o.Progress != nil {
+			o.Progress(n, shardsDone)
 		}
 	}
-	stopOnce.Do(func() { close(stop) })
+	halt()
 	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
 	if ferr := sink.Flush(); err == nil {
 		err = ferr
 	}
 	return n, err
 }
 
-func runSerial(shards int, gen ShardGen, sink Sink, o Options) (int64, error) {
+func runSerial(ctx context.Context, shards int, gen ShardGen, sink Sink, o Options) (int64, error) {
 	buf := make([]Arc, 0, o.BatchSize)
-	var n int64
+	var n, shardsDone int64
 	var err error
 	for w := 0; w < shards && err == nil; w++ {
 		gen(w, buf, func(full []Arc) []Arc {
+			if err = ctx.Err(); err != nil {
+				return nil
+			}
 			if cerr := sink.Consume(full); cerr != nil {
 				err = cerr
 				return nil
 			}
 			n += int64(len(full))
+			if o.Progress != nil {
+				o.Progress(n, shardsDone)
+			}
 			return full[:0]
 		})
+		if err == nil {
+			shardsDone++
+			if o.Progress != nil {
+				o.Progress(n, shardsDone)
+			}
+		}
 	}
 	if ferr := sink.Flush(); err == nil {
 		err = ferr
@@ -121,19 +194,45 @@ func runSerial(shards int, gen ShardGen, sink Sink, o Options) (int64, error) {
 	return n, err
 }
 
-// RunPerShard drives a sharded generator with one sink per shard, shards
-// running fully in parallel (no cross-shard ordering is needed because
-// each shard owns its own output). sinkFor(w) is called from the worker
-// goroutine that generates shard w; if the returned sink also implements
-// io.Closer it is closed after Flush. Returns per-shard arc counts and the
-// first error encountered (other shards still run to completion).
+// RunPerShard drives a sharded generator with one sink per shard under a
+// background context. See RunPerShardContext.
 func RunPerShard(shards int, gen ShardGen, sinkFor func(w int) (Sink, error), opts Options) ([]int64, error) {
+	return RunPerShardContext(context.Background(), shards, gen, sinkFor, opts)
+}
+
+// RunPerShardContext drives a sharded generator with one sink per shard,
+// shards running fully in parallel (no cross-shard ordering is needed
+// because each shard owns its own output). sinkFor(w) is called from the
+// worker goroutine that generates shard w; if the returned sink also
+// implements io.Closer it is closed after Flush. Returns per-shard arc
+// counts and the first error encountered in shard order (other shards
+// still run to completion).
+//
+// Cancelling ctx stops every shard within one batch: shards that have
+// not started are skipped, running shards stop generating, and their
+// sinks are still flushed and closed so partial files are released. The
+// first ctx error is reported like any shard error.
+func RunPerShardContext(ctx context.Context, shards int, gen ShardGen, sinkFor func(w int) (Sink, error), opts Options) ([]int64, error) {
 	o := opts.withDefaults()
 	if o.Workers <= 0 {
 		o.Workers = par.MaxWorkers()
 	}
 	counts := make([]int64, shards)
 	errs := make([]error, shards)
+	var mu sync.Mutex // serializes Progress across shard goroutines
+	var arcsTotal, shardsDone int64
+	progress := func(addArcs int64, shardDone bool) {
+		if o.Progress == nil {
+			return
+		}
+		mu.Lock()
+		arcsTotal += addArcs
+		if shardDone {
+			shardsDone++
+		}
+		o.Progress(arcsTotal, shardsDone)
+		mu.Unlock()
+	}
 	sem := make(chan struct{}, o.Workers)
 	var wg sync.WaitGroup
 	wg.Add(shards)
@@ -142,6 +241,10 @@ func RunPerShard(shards int, gen ShardGen, sinkFor func(w int) (Sink, error), op
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[w] = err
+				return
+			}
 			sink, err := sinkFor(w)
 			if err != nil {
 				errs[w] = err
@@ -149,11 +252,16 @@ func RunPerShard(shards int, gen ShardGen, sinkFor func(w int) (Sink, error), op
 			}
 			buf := make([]Arc, 0, o.BatchSize)
 			gen(w, buf, func(full []Arc) []Arc {
+				if cerr := ctx.Err(); cerr != nil {
+					err = cerr
+					return nil
+				}
 				if cerr := sink.Consume(full); cerr != nil {
 					err = cerr
 					return nil
 				}
 				counts[w] += int64(len(full))
+				progress(int64(len(full)), false)
 				return full[:0]
 			})
 			if ferr := sink.Flush(); err == nil {
@@ -163,6 +271,9 @@ func RunPerShard(shards int, gen ShardGen, sinkFor func(w int) (Sink, error), op
 				if cerr := c.Close(); err == nil {
 					err = cerr
 				}
+			}
+			if err == nil {
+				progress(0, true)
 			}
 			errs[w] = err
 		}(w)

@@ -27,8 +27,11 @@ func (f FuncSink) Flush() error { return nil }
 
 // MultiSink fans every batch out to several sinks in order, so one
 // generation pass can simultaneously write, count, and check. The first
-// Consume error stops the stream; Flush flushes every sink and returns the
-// first error.
+// Consume error stops the stream; Flush always reaches every child —
+// even when an earlier child's Flush errors, and even after a child's
+// Consume already errored — so every sink gets its exactly-once Flush
+// and buffered output is consistently finalized. The first Flush error
+// is returned.
 type MultiSink []Sink
 
 // Consume delivers the batch to each sink in order.
@@ -41,7 +44,8 @@ func (m MultiSink) Consume(batch []Arc) error {
 	return nil
 }
 
-// Flush flushes every sink, returning the first error.
+// Flush flushes every sink — an error from one child never skips the
+// rest — and returns the first error.
 func (m MultiSink) Flush() error {
 	var first error
 	for _, s := range m {

@@ -34,6 +34,44 @@ type Sink interface {
 	Flush() error
 }
 
+// Source is the unified contract of every communication-free sharded
+// generator — the one abstraction the whole pipeline (ordered streaming,
+// sharded writing, one- and two-pass CSR construction) is verbed over.
+// Implementations guarantee:
+//
+//   - replayability: EachShardBatch(w) is a pure function of the source
+//     and w — any worker can regenerate any shard at any time, and both
+//     passes of a two-pass consumer replay identical bytes;
+//   - canonical order: shard w emits only arcs whose source vertex lies
+//     in VertexRange(w), in strictly increasing lexicographic (U, V)
+//     order, ranges are disjoint and non-decreasing in w, and
+//     concatenating shards 0..Shards()-1 yields the source's canonical
+//     stream — byte-identical for every shard and worker count;
+//   - identity: Name() is a stable spec string that fully reproduces the
+//     stream (it is recorded in shard manifests and digestable).
+//
+// Both the Kronecker plan (distgen.Plan) and the random-model plan
+// (model.Plan) satisfy it.
+type Source interface {
+	// Name returns the stable, digestable identity of the stream.
+	Name() string
+	// NumVertices returns the vertex-id space [0, n) of the stream.
+	NumVertices() int64
+	// TotalArcs returns the exact total arc count, or -1 when it is only
+	// known in expectation.
+	TotalArcs() int64
+	// Shards returns the number of shards.
+	Shards() int
+	// ShardSize returns the exact arc count of shard w, or -1 when
+	// unknown ahead of generation.
+	ShardSize(w int) int64
+	// VertexRange returns the half-open source-vertex range owned by
+	// shard w.
+	VertexRange(w int) (lo, hi int64)
+	// EachShardBatch streams shard w under the ShardGen emit contract.
+	EachShardBatch(w int, buf []Arc, emit func(full []Arc) (next []Arc))
+}
+
 // ShardGen generates shard w of a partitioned arc stream in that shard's
 // deterministic order. The generator fills buf (len 0, fixed capacity) and
 // hands every full batch — and the final partial one — to emit; emit takes
@@ -51,6 +89,13 @@ type Options struct {
 	// Buffer is the number of batches each in-flight shard may queue ahead
 	// of the consumer; 0 means 4.
 	Buffer int
+	// Progress, when non-nil, is invoked by the driver with the
+	// cumulative number of arcs delivered and shards completed. The
+	// ordered driver calls it from the consuming goroutine after each
+	// batch and each shard completion; the per-shard driver serializes
+	// calls across its workers. It must be cheap — it runs once per
+	// batch, not per arc.
+	Progress func(arcs, shardsDone int64)
 }
 
 func (o Options) withDefaults() Options {

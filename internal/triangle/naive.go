@@ -11,7 +11,7 @@ import (
 // vertex v and every pair of id-ordered neighbors, probe the closing
 // edge by binary search. It is the textbook algorithm Chiba–Nishizeki
 // ordering improves on — Θ(Σ d_v²) wedge work instead of O(|E|^{3/2}) —
-// and exists here as the ablation baseline for the DESIGN.md §3 choice of
+// and exists here as the ablation baseline for the DESIGN.md §4 choice of
 // the forward algorithm (compare wedge checks in the benchmarks).
 func CountNodeIterator(g *graph.Graph) *Result {
 	if !g.IsSymmetric() {
