@@ -12,6 +12,8 @@ package kronvalid
 //   edges          product edge count
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"kronvalid/internal/census"
@@ -693,6 +695,26 @@ func BenchmarkModelStream(b *testing.B) {
 		b.SetBytes(arcs * 16)
 		b.ReportMetric(float64(arcs), "arcs/op")
 	}
+	// The -parallel rows run the same workload through the unified
+	// pipeline with GOMAXPROCS workers: on a multi-core runner they
+	// demonstrate (and the bench gate protects) the communication-free
+	// scaling claim; on a single core they cost only the pipeline's
+	// ordering overhead.
+	workers := runtime.GOMAXPROCS(0)
+	streamParallel := func(b *testing.B, g ModelGenerator) {
+		b.Helper()
+		ctx := context.Background()
+		var arcs int64
+		for i := 0; i < b.N; i++ {
+			var count stream.CountSink
+			if _, err := Stream(ctx, ModelSource(g, workers), &count, WithWorkers(workers)); err != nil {
+				b.Fatal(err)
+			}
+			arcs = count.N
+		}
+		b.SetBytes(arcs * 16)
+		b.ReportMetric(float64(arcs), "arcs/op")
+	}
 
 	b.Run("er-stream", func(b *testing.B) {
 		g, err := model.NewErdosRenyi(erN, erP, erSeed, 0)
@@ -700,6 +722,13 @@ func BenchmarkModelStream(b *testing.B) {
 			b.Fatal(err)
 		}
 		streamCount(b, g)
+	})
+	b.Run("er-parallel", func(b *testing.B) {
+		g, err := model.NewErdosRenyi(erN, erP, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
 	})
 	// The seed implementation's core, verbatim: one Bernoulli draw per
 	// vertex pair — n(n-1)/2 ≈ 5·10^9 draws regardless of how few edges
@@ -731,12 +760,26 @@ func BenchmarkModelStream(b *testing.B) {
 		}
 		streamCount(b, g)
 	})
+	b.Run("gnm-parallel", func(b *testing.B) {
+		g, err := model.NewGnm(erN, 5_000_000, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
 	b.Run("rmat-stream", func(b *testing.B) {
 		g, err := model.NewRMAT(17, 5_000_000, 0.57, 0.19, 0.19, 0.05, erSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
 		streamCount(b, g)
+	})
+	b.Run("rmat-parallel", func(b *testing.B) {
+		g, err := model.NewRMAT(17, 5_000_000, 0.57, 0.19, 0.19, 0.05, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
 	})
 	b.Run("chunglu-stream", func(b *testing.B) {
 		g, err := NewGenerator("chunglu:n=100000,dmax=1000,gamma=2.1,seed=42")
@@ -745,6 +788,13 @@ func BenchmarkModelStream(b *testing.B) {
 		}
 		streamCount(b, g)
 	})
+	b.Run("chunglu-parallel", func(b *testing.B) {
+		g, err := NewGenerator("chunglu:n=100000,dmax=1000,gamma=2.1,seed=42")
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
 	b.Run("rgg2d-stream", func(b *testing.B) {
 		g, err := model.NewRGG(100_000, 0.005, 2, erSeed, 0)
 		if err != nil {
@@ -752,12 +802,26 @@ func BenchmarkModelStream(b *testing.B) {
 		}
 		streamCount(b, g)
 	})
+	b.Run("rgg2d-parallel", func(b *testing.B) {
+		g, err := model.NewRGG(100_000, 0.005, 2, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
 	b.Run("ba-stream", func(b *testing.B) {
 		g, err := model.NewBarabasiAlbert(100_000, 4, 0, erSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
 		streamCount(b, g)
+	})
+	b.Run("ba-parallel", func(b *testing.B) {
+		g, err := model.NewBarabasiAlbert(100_000, 4, 0, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
 	})
 }
 

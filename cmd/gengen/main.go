@@ -57,6 +57,7 @@ func main() {
 	digestOnly := flag.Bool("digest", false, "print the canonical stream digest and exit")
 	progress := flag.Bool("progress", false, "report generation progress on stderr")
 	listKinds := flag.Bool("kinds", false, "list registered model kinds and exit")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
 	// ModelKinds is sorted, so new kinds surface deterministically in
@@ -76,6 +77,16 @@ func main() {
 		log.Fatal(err)
 	}
 	src := kronvalid.ModelSource(g, *shards)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

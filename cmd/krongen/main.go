@@ -42,6 +42,7 @@ func main() {
 	countOnly := flag.Bool("count", false, "print sizes and exit without generating")
 	digestOnly := flag.Bool("digest", false, "print the canonical stream digest and exit")
 	progress := flag.Bool("progress", false, "report generation progress on stderr")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
 	if *aSpec == "" || *bSpec == "" {
@@ -60,6 +61,16 @@ func main() {
 		log.Fatal(err)
 	}
 	src := kronvalid.ProductSource(p, *shards)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

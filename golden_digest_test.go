@@ -1,0 +1,44 @@
+package kronvalid
+
+import (
+	"context"
+	"testing"
+)
+
+// TestGoldenModelDigests pins the canonical byte stream of every model
+// kind to a hard-coded digest. The stream contract says worker count,
+// batching, and internal algorithm changes must never move a byte, so
+// these values only change when a model's stream is *deliberately*
+// re-pinned — any other mismatch is a silent format break that would
+// invalidate every digest users have recorded.
+//
+// History: the rmat digest was re-pinned once, when sample-sort-dedup
+// within a chunk was replaced by the in-order multinomial descent (same
+// distribution, same per-chunk budgets, different realization).
+func TestGoldenModelDigests(t *testing.T) {
+	golden := map[string]string{
+		"er:n=2000,p=0.004,seed=42":               "514a7a0afaa5dd2a",
+		"gnm:n=1500,m=9000,seed=11":               "57161fc1a2f6748f",
+		"rmat:scale=11,edges=16384,seed=13":       "75155a3008305e94",
+		"chunglu:n=3000,dmax=60,gamma=2.4,seed=5": "f7e5be822bc6268e",
+		"rgg2d:n=2500,r=0.03,seed=9":              "52b71b679d52318",
+		"rgg3d:n=1200,r=0.09,seed=4":              "441b2a8b566925a9",
+		"ba:n=2000,d=3,seed=15":                   "a1da37efe7efb116",
+	}
+	ctx := context.Background()
+	for spec, want := range golden {
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		// Multiple workers on purpose: the digest must be identical no
+		// matter how the chunk plan is executed.
+		got, err := Digest(ctx, ModelSource(g, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if got != want {
+			t.Errorf("%s: digest %q, want pinned %q — the canonical stream moved", spec, got, want)
+		}
+	}
+}

@@ -191,11 +191,22 @@ func RMAT(scale int, edges int64, a, b, c, d float64, seed uint64) *graph.Graph 
 	return fromModel(model.NewRMAT(scale, edges, a, b, c, d, seed, 0))
 }
 
+// MaxExplicitRMATEdges bounds the edge budget of an *explicit* R-MAT
+// factor graph: the streamed model itself holds only O(scale) state per
+// chunk, but this path collects every arc into an in-memory adjacency,
+// so an unbounded budget reachable from a spec string must be a spec
+// error, not an allocation blow-up.
+const MaxExplicitRMATEdges = int64(1) << 28
+
 // RMATErr is RMAT with an error return, for callers handling
 // user-supplied parameters (the spec grammar).
 func RMATErr(scale int, edges int64, a, b, c, d float64, seed uint64) (*graph.Graph, error) {
 	if scale < 1 || scale > 30 {
 		return nil, fmt.Errorf("gen: RMAT scale %d out of range [1,30] for an explicit graph", scale)
+	}
+	if edges > MaxExplicitRMATEdges {
+		return nil, fmt.Errorf("gen: RMAT edge budget %d exceeds the explicit-graph cap %d; use the streamed model layer for larger budgets",
+			edges, MaxExplicitRMATEdges)
 	}
 	return collectModel(model.NewRMAT(scale, edges, a, b, c, d, seed, 0))
 }

@@ -76,15 +76,20 @@ func (g *ChungLu) partition(chunks int) {
 	// Empty slots are kept so chunk ids stay a pure function of
 	// (weights, chunks), never of balancing.
 	runs := weightedRuns(int(nRows), chunks, func(i int) float64 { return rowWork[i] }, true)
+	// A prefix-sum array makes each run's weight one subtraction instead
+	// of a re-scan of rowWork. The rounding can differ from the old
+	// left-to-right per-run sums by an ulp, which only moves shard
+	// balancing, never a byte: chunk work steers grouping, and grouping
+	// never touches a draw.
+	prefix := make([]float64, nRows+1)
+	for i, w := range rowWork {
+		prefix[i+1] = prefix[i] + w
+	}
 	g.rows = make([][2]int64, 0, len(runs))
 	g.work = make([]int64, 0, len(runs))
 	for _, r := range runs {
-		w := 0.0
-		for i := r[0]; i < r[1]; i++ {
-			w += rowWork[i]
-		}
 		g.rows = append(g.rows, [2]int64{int64(r[0]), int64(r[1])})
-		g.work = append(g.work, 1+int64(w))
+		g.work = append(g.work, 1+int64(prefix[r[1]]-prefix[r[0]]))
 	}
 }
 
@@ -209,9 +214,19 @@ func (g *ChungLu) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc)
 	}
 	s := rng.NewStream2(g.seed, nsCLChunk, uint64(c))
 	b := newBatcher(buf, emit)
-	n := int64(len(g.w))
+	ws, sum := g.w, g.sum
+	n := int64(len(ws))
+	// Both per-candidate float expressions repeat bit-for-bit whenever
+	// the column weight repeats (the whole dmin-floored tail is one
+	// constant run), so each is cached by exact float equality —
+	// identical input bits give identical output bits, so no draw and
+	// no byte changes. lastP/lastLog cache the skip parameter's log1p,
+	// the dominant flat cost; lastW/lastQ cache the candidate
+	// probability q = wu·w[j]/sum, saving the divide.
+	lastP := math.NaN()
+	var lastLog float64
 	for i := r[0]; i < r[1]; i++ {
-		wu := g.w[i]
+		wu := ws[i]
 		if wu == 0 {
 			break // weights are non-increasing: every later row is empty too
 		}
@@ -219,22 +234,39 @@ func (g *ChungLu) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc)
 		if j >= n {
 			continue
 		}
-		p := wu * g.w[j] / g.sum
+		p := wu * ws[j] / sum
 		if p > 1 {
 			p = 1
 		}
+		lastW, lastQ := ws[j], p
 		for j < n && p > 0 {
 			if p < 1 {
-				j += s.Geometric(p)
+				if p != lastP {
+					lastP, lastLog = p, math.Log1p(-p)
+				}
+				j += s.GeometricLog(lastLog)
 			}
 			if j >= n {
 				break
 			}
-			q := wu * g.w[j] / g.sum
-			if q > 1 {
-				q = 1
+			if w := ws[j]; w != lastW {
+				lastW = w
+				lastQ = wu * w / sum
+				if lastQ > 1 {
+					lastQ = 1
+				}
 			}
-			if s.Float64() < q/p {
+			q := lastQ
+			if q == p {
+				// fl(q/p) = 1 exactly and Float64() < 1 always holds, so
+				// accept after consuming the thinning draw, skipping the
+				// division and float compare — the hot case whenever
+				// neighboring weights are equal.
+				s.Uint64()
+				if !b.add(i, j) {
+					return
+				}
+			} else if s.Float64() < q/p {
 				if !b.add(i, j) {
 					return
 				}

@@ -116,12 +116,16 @@ func (g *ErdosRenyi) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.A
 		return
 	}
 	s := rng.NewStream2(g.seed, nsERChunk, uint64(c))
+	// p is fixed for the whole sweep, so the denominator log1p(-p) —
+	// half of Geometric's flat cost — is hoisted out of the loop;
+	// GeometricLog is draw-for-draw identical to Geometric(p).
+	logq := math.Log1p(-g.p)
 	t := i0 - 1
 	for {
 		// Break on skip >= remaining rather than comparing t+1+skip with
 		// i1: the capped skip could overflow the sum near the top of the
 		// int64 pair space.
-		skip := s.Geometric(g.p)
+		skip := s.GeometricLog(logq)
 		if skip >= i1-t-1 {
 			break
 		}

@@ -2,7 +2,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kronvalid/internal/rng"
 	"kronvalid/internal/stream"
@@ -22,12 +22,13 @@ import (
 // count is realized as uniformly sampled distinct pair indices.
 type Gnm struct {
 	noDeps
-	n    int64
-	m    int64
-	seed uint64
-	ps   pairSpace
-	rows [][2]int64
-	tree splitTree
+	n      int64
+	m      int64
+	seed   uint64
+	ps     pairSpace
+	rows   [][2]int64
+	tree   splitTree
+	counts []int64 // per-chunk exact edge counts
 }
 
 // maxGnmChunkEdges bounds the per-chunk edge budget (each chunk holds
@@ -57,6 +58,15 @@ func NewGnm(n, m int64, seed uint64, chunks int) (*Gnm, error) {
 		total:       m,
 		weight:      g.pairsInSlots,
 		capacitated: true, // a chunk cannot hold more edges than pairs
+	}
+	// Precompute every chunk's count with one shared memo: each tree
+	// node's binomial split is drawn once instead of once per descent
+	// that passes it, and concurrent GenerateChunk calls then read the
+	// table instead of racing on a memo.
+	memo := make(splitMemo, 2*len(g.rows))
+	g.counts = make([]int64, len(g.rows))
+	for c := range g.counts {
+		g.counts[c] = g.tree.countMemo(c, memo)
 	}
 	return g, nil
 }
@@ -115,12 +125,13 @@ func (g *Gnm) pairsInSlots(lo, hi int) int64 {
 	return g.ps.offset(g.rows[hi-1][1]) - g.ps.offset(g.rows[lo][0])
 }
 
-// ChunkArcs returns chunk c's exact edge count via the shared binomial
-// splitting tree (the Sample phase of this model): O(log chunks) draws,
-// each from a stream derived purely from (seed, node), so every caller
-// computes the same value.
+// ChunkArcs returns chunk c's exact edge count from the shared binomial
+// splitting tree (the Sample phase of this model), precomputed at
+// construction with a shared memo. Every draw comes from a stream
+// derived purely from (seed, node), so every caller — and the former
+// per-call descent — computes the same value.
 func (g *Gnm) ChunkArcs(c int) int64 {
-	return g.tree.count(c)
+	return g.counts[c]
 }
 
 // GenerateChunk streams chunk c: its exact edge count is realized as
@@ -157,12 +168,12 @@ func (g *Gnm) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []s
 			}
 		}
 	default:
-		excluded := make(map[int64]struct{}, size-mC)
-		for int64(len(excluded)) < size-mC {
-			excluded[i0+s.Int64n(size)] = struct{}{}
+		excluded := newInt64Set(size - mC)
+		for excluded.len() < size-mC {
+			excluded.insert(i0 + s.Int64n(size))
 		}
 		for t := i0; t < i1; t++ {
-			if _, skip := excluded[t]; skip {
+			if excluded.contains(t) {
 				continue
 			}
 			if !place(t) {
@@ -175,18 +186,55 @@ func (g *Gnm) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []s
 
 // sampleDistinct draws k distinct values from [base, base+size) by
 // rejection and returns them sorted. Callers guarantee 2k <= size, so
-// the expected number of draws is below 2k.
+// the expected number of draws is below 2k. The duplicate test only
+// asks "seen before?" and sorting touches no draw, so the fixed-size
+// set and the radix sort change no draw and no output.
 func sampleDistinct(s *rng.Xoshiro256, base, size, k int64) []int64 {
-	seen := make(map[int64]struct{}, k)
+	seen := newInt64Set(k)
 	out := make([]int64, 0, k)
 	for int64(len(out)) < k {
 		v := base + s.Int64n(size)
-		if _, dup := seen[v]; dup {
+		if !seen.insert(v) {
 			continue
 		}
-		seen[v] = struct{}{}
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	radixSortInt64(out, base+size-1)
 	return out
+}
+
+// radixSortInt64 sorts non-negative int64s ascending — the same result
+// as slices.Sort, in O(len·passes) instead of O(len·log len) compares,
+// which dominates GenerateChunk's profile at the acceptance workload.
+// max is an upper bound on the values; it fixes the pass count, so all
+// high digits known to be zero are skipped. Chunk budgets are capped
+// (maxGnmChunkEdges) far below the int32 counting range.
+func radixSortInt64(a []int64, max int64) {
+	if len(a) < 128 {
+		slices.Sort(a) // comparison sort wins below digit-pass overhead
+		return
+	}
+	const digitBits = 11
+	const buckets = 1 << digitBits
+	src, dst := a, make([]int64, len(a))
+	var count [buckets]int32
+	for shift := uint(0); max>>shift != 0; shift += digitBits {
+		clear(count[:])
+		for _, v := range src {
+			count[uint64(v)>>shift&(buckets-1)]++
+		}
+		var sum int32
+		for i := range count {
+			sum, count[i] = sum+count[i], sum
+		}
+		for _, v := range src {
+			d := uint64(v) >> shift & (buckets - 1)
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
 }

@@ -1,0 +1,60 @@
+package model
+
+import "kronvalid/internal/rng"
+
+// int64Set is a linear-probing hash set of non-negative int64 keys with
+// a capacity fixed at construction — the duplicate filter of the G(n,m)
+// samplers, where the generic map's hashing and incremental growth
+// dominated the profile. Slots store key+1 so the zero value means
+// empty (keys are pair indices, well below 2^63, so the shift cannot
+// wrap); sizing to twice the capacity keeps the load factor ≤ 1/2 and
+// probe chains short.
+type int64Set struct {
+	slots []uint64
+	mask  uint64
+	n     int64
+}
+
+// newInt64Set returns a set sized for up to max insertions.
+func newInt64Set(max int64) *int64Set {
+	size := uint64(4)
+	for size < 2*uint64(max) {
+		size <<= 1
+	}
+	return &int64Set{slots: make([]uint64, size), mask: size - 1}
+}
+
+// insert adds v (≥ 0) and reports whether it was absent.
+func (s *int64Set) insert(v int64) bool {
+	k := uint64(v) + 1
+	i := rng.Mix64(k) & s.mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = k
+			s.n++
+			return true
+		case k:
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// contains reports whether v is in the set.
+func (s *int64Set) contains(v int64) bool {
+	k := uint64(v) + 1
+	i := rng.Mix64(k) & s.mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			return false
+		case k:
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// len returns the number of keys inserted.
+func (s *int64Set) len() int64 { return s.n }

@@ -45,8 +45,6 @@
 package model
 
 import (
-	"sort"
-
 	"kronvalid/internal/par"
 	"kronvalid/internal/stream"
 )
@@ -359,27 +357,6 @@ func Collect(g Generator) []stream.Arc {
 			out = append(out, full...)
 			return full[:0]
 		})
-	}
-	return out
-}
-
-// sortArcs sorts arcs into canonical lexicographic (U, V) order.
-func sortArcs(arcs []stream.Arc) {
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].U != arcs[j].U {
-			return arcs[i].U < arcs[j].U
-		}
-		return arcs[i].V < arcs[j].V
-	})
-}
-
-// dedupArcs removes adjacent duplicates from sorted arcs in place.
-func dedupArcs(arcs []stream.Arc) []stream.Arc {
-	out := arcs[:0]
-	for i, a := range arcs {
-		if i == 0 || a != arcs[i-1] {
-			out = append(out, a)
-		}
 	}
 	return out
 }

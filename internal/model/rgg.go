@@ -130,9 +130,13 @@ func NewRGG(n int64, r float64, dim int, seed uint64, chunks int) (*RGG, error) 
 		return nil, fmt.Errorf("model: rgg holds ~%d of %d points resident per chunk (own cells + regenerated halo; cap %d); raise chunks",
 			resident, n, maxRGGChunkPoints)
 	}
+	// One shared memo across the prefix descents: each tree node's split
+	// is drawn once instead of once per run that passes it (the values
+	// are unchanged — a memo never changes what a node draws).
+	memo := make(splitMemo, 2*len(g.runs))
 	g.starts = make([]int64, len(g.runs)+1)
 	for i, run := range g.runs {
-		g.starts[i] = g.tree.prefix(run[0])
+		g.starts[i] = g.tree.prefixMemo(run[0], memo)
 	}
 	g.starts[len(g.runs)] = n
 	return g, nil

@@ -19,11 +19,10 @@ import (
 // exact conditional probabilities — P(u-bit = 0) = a+b at every level —
 // which realizes the exact multinomial law of how many of the e edges
 // fall in each subtree, from (seed, node)-derived streams any worker
-// can replay. Within a chunk the fixed u-bits are given, so the
-// corresponding v-bits are sampled from their conditional distributions
-// (b/(a+b) or d/(c+d)) and the remaining bits from the joint quadrant
-// law; the chunk's arcs are then sorted and deduplicated, making the
-// concatenated stream canonical and CSR-ready.
+// can replay. Within a chunk the budget is realized by continuing the
+// same splitting down the remaining u-bits and then the v-bits, in
+// order (see GenerateChunk), so arcs come out canonical and
+// deduplicated with no per-chunk buffer or sort.
 type RMAT struct {
 	noDeps
 	scale      int
@@ -32,6 +31,11 @@ type RMAT struct {
 	seed       uint64
 	k          uint // log2 of the chunk count
 	pv0, pv1   float64
+	cd         float64 // P(u-bit = 1) = c+d
+	// Fixed-point thresholds of the three per-bit Bernoulli laws (see
+	// rng.FixedThreshold): u-bit, and v-bit conditioned on u-bit 0/1.
+	thrU1, thrV0, thrV1 uint64
+	budgets             []int64 // per-chunk raw edge budgets
 }
 
 // maxRMATScale bounds the vertex-id space to stay well inside int64.
@@ -40,15 +44,11 @@ const maxRMATScale = 48
 // maxRMATEdges bounds the total edge budget.
 const maxRMATEdges = int64(1) << 36
 
-// maxRMATChunkEdges bounds the *expected* edge budget of the heaviest
-// chunk: each chunk buffers its samples (16 B/arc) for the sort+dedup
-// pass, so a budget that concentrates past this in one subtree is a
-// construction error ("raise chunks") rather than an OOM mid-stream.
-const maxRMATChunkEdges = int64(1) << 28
-
 // NewRMAT returns the sharded R-MAT generator. The probabilities are
 // normalized to sum to 1; chunks is rounded down to a power of two and
-// clamped to [1, 2^scale] (0 means DefaultChunks).
+// clamped to [1, 2^scale] (0 means DefaultChunks). The in-order descent
+// keeps per-chunk memory O(scale) regardless of how the budget
+// concentrates, so no per-chunk budget cap applies.
 func NewRMAT(scale int, edges int64, a, b, c, d float64, seed uint64, chunks int) (*RMAT, error) {
 	if scale < 1 || scale > maxRMATScale {
 		return nil, fmt.Errorf("model: rmat scale %d out of [1, %d]", scale, maxRMATScale)
@@ -62,19 +62,18 @@ func NewRMAT(scale int, edges int64, a, b, c, d float64, seed uint64, chunks int
 		return nil, fmt.Errorf("model: rmat probabilities (%v, %v, %v, %v) must be non-negative with a positive sum", a, b, c, d)
 	}
 	a, b, c, d = a/sum, b/sum, c/sum, d/sum
-	k := rmatChunkBits(scale, chunks)
-	heaviest := math.Max(a+b, c+d)
-	if expect := float64(edges) * math.Pow(heaviest, float64(k)); expect > float64(maxRMATChunkEdges) {
-		return nil, fmt.Errorf("model: rmat edge budget %d concentrates ~%.0f samples in the heaviest of %d chunks (per-chunk cap %d); raise chunks or lower edges",
-			edges, expect, 1<<k, maxRMATChunkEdges)
-	}
-	g := &RMAT{scale: scale, edges: edges, a: a, b: b, c: c, d: d, seed: seed, k: k}
+	g := &RMAT{scale: scale, edges: edges, a: a, b: b, c: c, d: d, seed: seed, k: rmatChunkBits(scale, chunks)}
 	if ab := a + b; ab > 0 {
 		g.pv0 = b / ab
 	}
 	if cd := c + d; cd > 0 {
 		g.pv1 = d / cd
 	}
+	g.cd = c + d
+	g.thrU1 = rng.FixedThreshold(g.cd)
+	g.thrV0 = rng.FixedThreshold(g.pv0)
+	g.thrV1 = rng.FixedThreshold(g.pv1)
+	g.budgets = g.splitBudgets()
 	return g, nil
 }
 
@@ -90,12 +89,10 @@ func rmatChunkBits(scale, chunks int) uint {
 }
 
 // DefaultRMATEdges returns the default edge budget of an R-MAT spec —
-// the Graph500 edge factor 16 — clamped to a budget NewRMAT accepts for
-// the given probabilities and requested chunk count (0 means
-// DefaultChunks): a spec that omits edges= must never fail over an edge
-// count the user did not supply. Returns -1 (treated as required by the
-// parameter readers) when scale or the probabilities are unusable.
-func DefaultRMATEdges(scale int, a, b, c, d float64, chunks int) int64 {
+// the Graph500 edge factor 16, clamped to the model's total budget
+// bound. Returns -1 (treated as required by the parameter readers) when
+// scale or the probabilities are unusable.
+func DefaultRMATEdges(scale int, a, b, c, d float64) int64 {
 	sum := a + b + c + d
 	if scale < 1 || scale > maxRMATScale || !(sum > 0) || math.IsNaN(sum) || math.IsInf(sum, 0) {
 		return -1
@@ -103,11 +100,6 @@ func DefaultRMATEdges(scale int, a, b, c, d float64, chunks int) int64 {
 	edges := int64(16) << uint(scale)
 	if edges > maxRMATEdges {
 		edges = maxRMATEdges
-	}
-	heaviest := math.Max(a+b, c+d) / sum
-	k := rmatChunkBits(scale, chunks)
-	if byChunk := float64(maxRMATChunkEdges) / math.Pow(heaviest, float64(k)); float64(edges) > byChunk {
-		edges = int64(byChunk)
 	}
 	return edges
 }
@@ -141,7 +133,7 @@ func buildRMAT(p *Params) (Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	edges, err := p.Int64("edges", DefaultRMATEdges(scale, a, b, c, d, chunks))
+	edges, err := p.Int64("edges", DefaultRMATEdges(scale, a, b, c, d))
 	if err != nil {
 		return nil, err
 	}
@@ -198,84 +190,150 @@ func (g *RMAT) ChunkWeight(q int) int64 {
 // ChunkArcs returns -1: deduplication makes per-chunk counts random.
 func (g *RMAT) ChunkArcs(q int) int64 { return -1 }
 
-// chunkEdgeBudget descends the k-level u-bit splitting tree and returns
-// the number of raw edge samples assigned to chunk q. Node streams are
-// derived from (seed, heap index), so every worker computes identical
-// splits; the left share at every node is Binomial(e_node, a+b), the
-// exact conditional law, so the leaf counts follow the exact multinomial
-// distribution over subtrees and sum to edges.
-func (g *RMAT) chunkEdgeBudget(q int) int64 {
-	e := g.edges
-	for level := uint(0); level < g.k; level++ {
-		node := uint64(1)<<level | uint64(q)>>(g.k-level)
+// splitBudgets descends the k-level u-bit splitting tree once at
+// construction and returns every chunk's raw edge budget. Node streams
+// are derived from (seed, heap index) — the same per-node streams the
+// former lazy per-chunk descent drew from, so the budgets are
+// unchanged: the left share at every node is Binomial(e_node, a+b), the
+// exact conditional law, so the leaf budgets follow the exact
+// multinomial distribution over subtrees and sum to edges. One pass
+// over the heap replaces 2^k descents of k draws each (the shared-memo
+// request of the per-chunk path, taken to its limit).
+func (g *RMAT) splitBudgets() []int64 {
+	e := make([]int64, 2<<g.k)
+	e[1] = g.edges
+	for node := uint64(1); node < uint64(1)<<g.k; node++ {
 		s := rng.NewStream2(g.seed, nsRMATSplit, node)
-		left := s.Binomial(e, g.a+g.b)
-		if q>>(g.k-1-level)&1 == 0 {
-			e = left
-		} else {
-			e -= left
-		}
+		left := s.Binomial(e[node], g.a+g.b)
+		e[2*node] = left
+		e[2*node+1] = e[node] - left
 	}
-	return e
+	return e[1<<g.k:]
 }
 
-// GenerateChunk samples chunk q's edge budget with the conditioned
-// quadrant descent, drops self loops, sorts and deduplicates, and emits
-// the canonical-order result.
+// chunkEdgeBudget returns the number of raw edge samples assigned to
+// chunk q (precomputed at construction, see splitBudgets).
+func (g *RMAT) chunkEdgeBudget(q int) int64 { return g.budgets[q] }
+
+// GenerateChunk realizes chunk q's edge budget by in-order multinomial
+// descent: the budget is split down the remaining u-bits (high to low,
+// 0-branch first) with the exact conditional law P(u-bit = 1) = c+d,
+// and each fully resolved source u splits its count down the v-bits
+// with P(v-bit = 1 | u-bit) = pv0 or pv1. Leaves are therefore reached
+// in lexicographic (u, v) order, so arcs are emitted canonical and
+// already deduplicated — a leaf of multiplicity ≥ 2 is one arc — with
+// no buffer and no sort; self loops are dropped at the leaf.
+//
+// The leaf counts follow exactly the same multinomial law as sampling
+// the budget edge by edge with per-bit quadrant draws: R-MAT levels are
+// iid, so conditioned on a node's count the split across its two
+// children is binomial with the child's conditional probability, and
+// the fixed-point thresholds encode each Bernoulli probability
+// bit-for-bit (rng.FixedThreshold). Draws come sequentially from the
+// chunk's (seed, chunk)-derived stream, so any worker replays the chunk
+// identically.
 func (g *RMAT) GenerateChunk(q int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
-	eC := g.chunkEdgeBudget(q)
+	eC := g.budgets[q]
 	if eC == 0 {
 		return
 	}
-	s := rng.NewStream2(g.seed, nsRMATChunk, uint64(q))
-	shift := g.chunkShift()
-	base := int64(q) << shift
-	// Pre-size for the common case but let append grow past it: the
-	// realized budget can exceed the constructor's expected-heaviest
-	// bound, and one bounded-capacity allocation must not become one
-	// giant allocation.
-	capHint := eC
-	if capHint > 1<<22 {
-		capHint = 1 << 22
+	d := &rmatDescent{
+		g:   g,
+		s:   rng.NewStream2(g.seed, nsRMATChunk, uint64(q)),
+		b:   newBatcher(buf, emit),
+		raw: make([]uint64, g.scale),
 	}
-	arcs := make([]stream.Arc, 0, capHint)
-	for e := int64(0); e < eC; e++ {
-		u, v := base, int64(0)
-		// Fixed u-bits: sample the paired v-bits conditionally.
-		for bit := g.scale - 1; bit >= int(shift); bit-- {
-			pv := g.pv0
-			if u>>uint(bit)&1 == 1 {
-				pv = g.pv1
-			}
-			if s.Float64() < pv {
-				v |= int64(1) << uint(bit)
-			}
-		}
-		// Free bits: joint quadrant law.
-		for bit := int(shift) - 1; bit >= 0; bit-- {
-			r := s.Float64()
-			switch {
-			case r < g.a:
-			case r < g.a+g.b:
-				v |= int64(1) << uint(bit)
-			case r < g.a+g.b+g.c:
-				u |= int64(1) << uint(bit)
-			default:
-				u |= int64(1) << uint(bit)
-				v |= int64(1) << uint(bit)
-			}
-		}
-		if u != v {
-			arcs = append(arcs, stream.Arc{U: u, V: v})
-		}
+	if d.uDescend(int(g.chunkShift())-1, int64(q)<<g.chunkShift(), eC) {
+		d.b.flush()
 	}
-	sortArcs(arcs)
-	arcs = dedupArcs(arcs)
-	b := newBatcher(buf, emit)
-	for _, a := range arcs {
-		if !b.add(a.U, a.V) {
-			return
+}
+
+// rmatDescent carries one chunk's in-order descent state. raw is the
+// chunk-lifetime scratch for batch-drawing a singleton's remaining bit
+// levels in one Fill (at most scale draws per batch).
+type rmatDescent struct {
+	g   *RMAT
+	s   *rng.Xoshiro256
+	b   *batcher
+	raw []uint64
+}
+
+// uDescend distributes n ≥ 1 edges across the source subtree rooted at
+// u with bit+1 unresolved low u-bits, emitting the 0-branch before the
+// 1-branch; the 1-branch continues iteratively in this frame, so the
+// recursion depth is at most the bit count. Returns false when the
+// consumer stopped the stream.
+func (d *rmatDescent) uDescend(bit int, u, n int64) bool {
+	g := d.g
+	for bit >= 0 {
+		if n == 1 {
+			// A single edge consumes exactly one draw per remaining level
+			// no matter the outcomes, so the whole tail is one batched
+			// Fill (draw-identical to per-level Below calls).
+			raw := d.raw[:bit+1]
+			d.s.Fill(raw)
+			for i, r := range raw {
+				if r>>11 < g.thrU1 {
+					u |= int64(1) << uint(bit-i)
+				}
+			}
+			break
 		}
+		ones := d.s.BinomialFixed(n, g.cd, g.thrU1)
+		if ones < n {
+			if !d.uDescend(bit-1, u, n-ones) {
+				return false
+			}
+		}
+		if ones == 0 {
+			return true
+		}
+		u |= int64(1) << uint(bit)
+		n = ones
+		bit--
 	}
-	b.flush()
+	return d.vDescend(g.scale-1, u, 0, n)
+}
+
+// vDescend distributes the n ≥ 1 edges of the fully resolved source u
+// across the destination bit tree, 0-branch first; the leaf emits its
+// arc once (self loops dropped).
+func (d *rmatDescent) vDescend(bit int, u, v, n int64) bool {
+	g := d.g
+	for bit >= 0 {
+		if n == 1 {
+			raw := d.raw[:bit+1]
+			d.s.Fill(raw)
+			for i, r := range raw {
+				thr := g.thrV0
+				if u>>uint(bit-i)&1 == 1 {
+					thr = g.thrV1
+				}
+				if r>>11 < thr {
+					v |= int64(1) << uint(bit-i)
+				}
+			}
+			break
+		}
+		pv, thr := g.pv0, g.thrV0
+		if u>>uint(bit)&1 == 1 {
+			pv, thr = g.pv1, g.thrV1
+		}
+		ones := d.s.BinomialFixed(n, pv, thr)
+		if ones < n {
+			if !d.vDescend(bit-1, u, v, n-ones) {
+				return false
+			}
+		}
+		if ones == 0 {
+			return true
+		}
+		v |= int64(1) << uint(bit)
+		n = ones
+		bit--
+	}
+	if u != v {
+		return d.b.add(u, v)
+	}
+	return true
 }

@@ -1,6 +1,9 @@
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // maxGeometric caps Geometric's return value so that extreme (u, p)
 // combinations cannot overflow downstream index arithmetic; any caller
@@ -22,11 +25,7 @@ func (g *Xoshiro256) Geometric(p float64) int64 {
 	}
 	// Inversion: floor(log(1-U) / log(1-p)), with log1p for precision at
 	// small p. 1-U is never zero because Float64 is in [0, 1).
-	k := math.Log1p(-g.Float64()) / math.Log1p(-p)
-	if k >= float64(maxGeometric) {
-		return maxGeometric
-	}
-	return int64(k)
+	return g.GeometricLog(math.Log1p(-p))
 }
 
 // smallBinomialCutoff separates the two Binomial regimes: below it the
@@ -159,11 +158,23 @@ func (g *Xoshiro256) binomialZigzag(n int64, p float64) int64 {
 // one Float64 per slot in order — the coordinate sampler of the spatial
 // (random geometric) generators, where dst is one point's coordinate
 // vector. Consuming exactly len(dst) draws per call keeps a point
-// stream's layout a pure function of (generator state, dimension).
+// stream's layout a pure function of (generator state, dimension). The
+// body is the batched Fill loop (state in registers), draw-for-draw
+// identical to len(dst) Float64 calls.
 func (g *Xoshiro256) UnitUniform(dst []float64) {
+	s0, s1, s2, s3 := g.s[0], g.s[1], g.s[2], g.s[3]
 	for i := range dst {
-		dst[i] = g.Float64()
+		r := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		dst[i] = float64(r>>11) / (1 << 53)
 	}
+	g.s[0], g.s[1], g.s[2], g.s[3] = s0, s1, s2, s3
 }
 
 // NewStream2 returns a generator for a two-level logical stream id, the

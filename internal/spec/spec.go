@@ -223,10 +223,12 @@ func builder(kind string, p *params.Params) (maker, error) {
 		if err != nil {
 			return nil, err
 		}
-		// The default edge budget is clamped to what the streamed core
-		// accepts for these probabilities, exactly as the model registry
-		// does — omitting edges= must never fail.
-		edges, err := p.Int64("edges", model.DefaultRMATEdges(scale, a, b, c, d, 0))
+		// The default edge budget matches the model registry's default,
+		// clamped to the explicit-graph cap — omitting edges= must never
+		// fail, even at scales whose edge-factor default exceeds what an
+		// in-memory factor graph can hold.
+		def := min(model.DefaultRMATEdges(scale, a, b, c, d), gen.MaxExplicitRMATEdges)
+		edges, err := p.Int64("edges", def)
 		if err != nil {
 			return nil, err
 		}

@@ -158,7 +158,7 @@ func TestParseCapacityErrorsNotPanics(t *testing.T) {
 	// surface as spec errors, never process panics.
 	for _, s := range []string{
 		"gnm:n=300000,m=9000000000",       // within pair range, past the chunk budget
-		"rmat:scale=30,edges=68719476736", // past the per-chunk buffer cap
+		"rmat:scale=30,edges=68719476736", // past the explicit-graph edge cap
 	} {
 		g, err := Parse(s)
 		if err == nil {
