@@ -85,6 +85,28 @@ func RGG2D(n int64, r float64, seed uint64) (*Graph, error) { return gen.RGG2D(n
 // RGG3D is RGG2D on the unit cube (model kind "rgg3d").
 func RGG3D(n int64, r float64, seed uint64) (*Graph, error) { return gen.RGG3D(n, r, seed) }
 
+// RHG returns the random hyperbolic graph: n points in a hyperbolic
+// disk whose radius is solved for target average degree deg, with
+// radial density set by the power-law exponent gamma (> 2), and an
+// edge for every pair within hyperbolic distance R. The explicit-graph
+// adapter of the streamed band/cell generator (model kind "rhg").
+func RHG(n int64, deg, gamma float64, seed uint64) (*Graph, error) {
+	return gen.RHG(n, deg, gamma, seed)
+}
+
+// Grid2D returns the x×y lattice with each lattice edge kept
+// independently with probability p; wrap adds the per-axis wraparound
+// (torus) edges. The explicit-graph adapter of the streamed
+// geometric-skip generator (model kind "grid2d").
+func Grid2D(x, y int64, p float64, wrap bool, seed uint64) (*Graph, error) {
+	return gen.Grid2D(x, y, p, wrap, seed)
+}
+
+// Grid3D is Grid2D for the x×y×z lattice (model kind "grid3d").
+func Grid3D(x, y, z int64, p float64, wrap bool, seed uint64) (*Graph, error) {
+	return gen.Grid3D(x, y, z, p, wrap, seed)
+}
+
 // WebGraph returns a scale-free graph with triad closure (probability pt
 // per attachment): the offline stand-in for the paper's web-NotreDame
 // factor.
@@ -444,7 +466,9 @@ func ReadShardManifest(dir string) (*ShardManifest, error) { return distgen.Read
 // hash chains (ba) instead of communicating, so the concatenated
 // stream is byte-identical for every worker count — the same invariant
 // the Kronecker pipeline has, extended to Erdős–Rényi, G(n, m), R-MAT,
-// Chung–Lu, random geometric graphs (2D/3D) and Barabási–Albert.
+// Chung–Lu, random geometric graphs (2D/3D), Barabási–Albert, random
+// hyperbolic graphs and wraparound lattices (grid2d/grid3d). MODELS.md
+// documents every registered kind's spec grammar and guarantees.
 type ModelGenerator = model.Generator
 
 // ModelPlan groups a model's randomness chunks into contiguous shards

@@ -675,10 +675,11 @@ func BenchmarkSampledValidation(b *testing.B) {
 // sharded streaming core versus the seed's O(n²) Bernoulli sweep
 // (reproduced inline as the true legacy baseline), plus the streamed
 // G(n,m), R-MAT and Chung–Lu cores at a comparable edge scale, and the
-// cross-chunk-dependent cores — rgg2d (neighbor-cell recomputation) and
-// ba (per-edge retracing) — at the acceptance parameters
-// (n=10^5, r=0.005 / d=4). Throughput is bytes of emitted arcs
-// (16 B/arc).
+// cross-chunk-dependent cores — rgg2d/rgg3d (neighbor-cell
+// recomputation), rhg (band/cell window regeneration) and ba (per-edge
+// retracing) — at the acceptance parameters (n=10^5, r=0.005 / d=4 /
+// d̄=8), plus the dependence-free lattices (grid2d/grid3d, ~2·10^5
+// vertices at p=0.8). Throughput is bytes of emitted arcs (16 B/arc).
 func BenchmarkModelStream(b *testing.B) {
 	const erN, erP, erSeed = 100_000, 0.001, 42
 
@@ -818,6 +819,62 @@ func BenchmarkModelStream(b *testing.B) {
 	})
 	b.Run("ba-parallel", func(b *testing.B) {
 		g, err := model.NewBarabasiAlbert(100_000, 4, 0, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
+	b.Run("rgg3d-stream", func(b *testing.B) {
+		g, err := model.NewRGG(100_000, 0.02, 3, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamCount(b, g)
+	})
+	b.Run("rgg3d-parallel", func(b *testing.B) {
+		g, err := model.NewRGG(100_000, 0.02, 3, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
+	b.Run("rhg-stream", func(b *testing.B) {
+		g, err := model.NewRHG(100_000, 8, 2.9, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamCount(b, g)
+	})
+	b.Run("rhg-parallel", func(b *testing.B) {
+		g, err := model.NewRHG(100_000, 8, 2.9, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
+	b.Run("grid2d-stream", func(b *testing.B) {
+		g, err := model.NewGrid(500, 400, 1, 0.8, true, 2, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamCount(b, g)
+	})
+	b.Run("grid2d-parallel", func(b *testing.B) {
+		g, err := model.NewGrid(500, 400, 1, 0.8, true, 2, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamParallel(b, g)
+	})
+	b.Run("grid3d-stream", func(b *testing.B) {
+		g, err := model.NewGrid(60, 60, 56, 0.8, true, 3, erSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamCount(b, g)
+	})
+	b.Run("grid3d-parallel", func(b *testing.B) {
+		g, err := model.NewGrid(60, 60, 56, 0.8, true, 3, erSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 // Gengen streams or shards the edge list of any registered random graph
 // model (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu, random geometric 2D/3D,
-// Barabási–Albert) through the unified Source pipeline: randomness lives
+// Barabási–Albert, random hyperbolic, 2D/3D lattices with optional
+// wraparound) through the unified Source pipeline: randomness lives
 // in cells derived from (seed, cell id) — pair-range chunks, geometric
 // grid cells, or per-edge hash positions — so output is bitwise
 // identical for any worker count, even for the models with cross-chunk
@@ -16,6 +17,8 @@
 //	gengen -model 'rmat:scale=16,seed=7' -shards 8 -out dir/       # shard files + manifest.json
 //	gengen -model 'gnm:n=100000,m=1000000' -shards 8 -out dir/ -binary
 //	gengen -model 'rgg2d:n=100000,r=0.005' -shards 8 -out dir/     # spatial, cell-grid sharded
+//	gengen -model 'rhg:n=100000,d=8,gamma=2.9' -shards 8 -out dir/ # hyperbolic, band/cell sharded
+//	gengen -model 'grid2d:x=1000,y=1000,wrap=true' > torus.tsv     # full lattice, exact counts
 //	gengen -model 'ba(n=100000;d=4)' -shards 8 -out dir/           # KaGen-style spec alias
 //	gengen -model 'chunglu:n=100000,dmax=300' -csr graph.csr       # two-pass parallel CSR build
 //	gengen -model 'er:n=100000,p=0.001' -count                     # sizes only
@@ -25,9 +28,9 @@
 // Spec grammar: kind:key=value,key=value,… (or kind(key=value;…)).
 // Every model takes seed (default 1) and chunks (the enumeration
 // granularity, default 64; part of the stream identity for er/gnm/
-// rmat/chunglu, grouping-only for rgg2d/rgg3d/ba). See the package
-// documentation of internal/model for per-model parameters and
-// sharding schemes.
+// rmat/chunglu/grid2d/grid3d, grouping-only for rgg2d/rgg3d/ba/rhg).
+// See MODELS.md and the package documentation of internal/model for
+// per-model parameters and sharding schemes.
 package main
 
 import (

@@ -34,7 +34,8 @@
 //
 // Every generator — Kronecker products and the classical random models
 // (Erdős–Rényi, G(n,m), R-MAT, Chung–Lu, random geometric 2D/3D,
-// Barabási–Albert) — is one Source: a set of communication-free,
+// Barabási–Albert, random hyperbolic, 2D/3D lattices with optional
+// wraparound; see MODELS.md) — is one Source: a set of communication-free,
 // replayable shards whose concatenation is the canonical edge stream,
 // byte-identical for every worker count. One verb set drives any Source,
 // with a context for cancellation and functional options for tuning:

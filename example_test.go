@@ -1,6 +1,7 @@
 package kronvalid_test
 
 import (
+	"context"
 	"fmt"
 
 	"kronvalid"
@@ -87,4 +88,34 @@ func ExampleExtractEgonet() {
 	ego, _ := kronvalid.ExtractEgonet(p, 0, 1000)
 	fmt.Println(ego.Degree, ego.LocalTriangles)
 	// Output: 9 18
+}
+
+// ExampleNewGenerator drives a random hyperbolic graph through the
+// unified verbs: one spec string, then Count/Digest/Stream over its
+// Source — the count and digest are fixed by the spec, never by the
+// worker count.
+func ExampleNewGenerator() {
+	ctx := context.Background()
+	g, _ := kronvalid.NewGenerator("rhg:n=500,d=6,gamma=2.7,seed=1")
+
+	arcs, _ := kronvalid.Count(ctx, kronvalid.ModelSource(g, 4))
+	digest, _ := kronvalid.Digest(ctx, kronvalid.ModelSource(g, 4))
+
+	var sink kronvalid.CountingSink
+	kronvalid.Stream(ctx, kronvalid.ModelSource(g, 8), &sink,
+		kronvalid.WithWorkers(8))
+
+	fmt.Println(arcs, digest, sink.N == arcs)
+	// Output: 1480 7e13ade19f1e147d true
+}
+
+// ExampleCount shows the exact-count fast path: G(n, m) declares its
+// arc total, so Count returns without generating a single edge — and
+// the streamed total agrees.
+func ExampleCount() {
+	ctx := context.Background()
+	g, _ := kronvalid.NewGenerator("gnm:n=10000,m=60000,seed=7")
+	arcs, _ := kronvalid.Count(ctx, kronvalid.ModelSource(g, 0))
+	fmt.Println(arcs)
+	// Output: 60000
 }

@@ -17,13 +17,16 @@ import (
 // distribution, same per-chunk budgets, different realization).
 func TestGoldenModelDigests(t *testing.T) {
 	golden := map[string]string{
-		"er:n=2000,p=0.004,seed=42":               "514a7a0afaa5dd2a",
-		"gnm:n=1500,m=9000,seed=11":               "57161fc1a2f6748f",
-		"rmat:scale=11,edges=16384,seed=13":       "75155a3008305e94",
-		"chunglu:n=3000,dmax=60,gamma=2.4,seed=5": "f7e5be822bc6268e",
-		"rgg2d:n=2500,r=0.03,seed=9":              "52b71b679d52318",
-		"rgg3d:n=1200,r=0.09,seed=4":              "441b2a8b566925a9",
-		"ba:n=2000,d=3,seed=15":                   "a1da37efe7efb116",
+		"er:n=2000,p=0.004,seed=42":                    "514a7a0afaa5dd2a",
+		"gnm:n=1500,m=9000,seed=11":                    "57161fc1a2f6748f",
+		"rmat:scale=11,edges=16384,seed=13":            "75155a3008305e94",
+		"chunglu:n=3000,dmax=60,gamma=2.4,seed=5":      "f7e5be822bc6268e",
+		"rgg2d:n=2500,r=0.03,seed=9":                   "52b71b679d52318",
+		"rgg3d:n=1200,r=0.09,seed=4":                   "441b2a8b566925a9",
+		"ba:n=2000,d=3,seed=15":                        "a1da37efe7efb116",
+		"rhg:n=1800,d=8,gamma=2.6,seed=21":             "dae0eef3181899bb",
+		"grid2d:x=45,y=40,p=0.55,wrap=true,seed=22":    "9643aa456dd24c0d",
+		"grid3d:x=11,y=10,z=9,p=0.5,wrap=true,seed=23": "cf0457c98460db27",
 	}
 	ctx := context.Background()
 	for spec, want := range golden {

@@ -159,6 +159,38 @@ func TestRGGByteIdentityAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRHGGridByteIdentityAcrossWorkers extends the spatial pin to the
+// hyperbolic and lattice kinds: the parallel pipeline must reproduce
+// the serial chunk-by-chunk stream arc for arc, foreign-cell
+// regeneration (rhg) and per-chunk skip walks (grid) included.
+func TestRHGGridByteIdentityAcrossWorkers(t *testing.T) {
+	for _, spec := range []string{
+		"rhg:n=1500,d=8,gamma=2.7,seed=5",
+		"grid2d:x=40,y=30,p=0.5,wrap=true,seed=6",
+		"grid3d:x=10,y=9,z=8,p=0.6,wrap=true,seed=7",
+	} {
+		mg, err := model.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.Collect(mg)
+		if len(want) == 0 {
+			t.Fatalf("%s: empty stream, test is vacuous", spec)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got := streamArcs(t, mg, workers)
+			if len(got) != len(want) {
+				t.Fatalf("%s P=%d: %d arcs, want %d", spec, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s P=%d: arc %d = %v, want %v", spec, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestGNMProperties(t *testing.T) {
 	g := GNM(200, 1500, 3)
 	if !g.IsSymmetric() || g.HasAnyLoop() {

@@ -124,6 +124,28 @@ func RGG3D(n int64, r float64, seed uint64) (*graph.Graph, error) {
 	return collectModel(model.NewRGG(n, r, 3, seed, 0))
 }
 
+// RHG returns the random hyperbolic graph: n points in a hyperbolic
+// disk whose radius is solved for target average degree deg, radial
+// density set by the power-law exponent gamma (> 2), an edge for every
+// pair at hyperbolic distance within the disk radius. It adapts the
+// streamed band/cell core; spec-boundary callers get errors, not
+// panics.
+func RHG(n int64, deg, gamma float64, seed uint64) (*graph.Graph, error) {
+	return collectModel(model.NewRHG(n, deg, gamma, seed, 0))
+}
+
+// Grid2D returns the x×y lattice with each lattice edge kept
+// independently with probability p; wrap adds the per-axis wraparound
+// (torus) edges. It adapts the streamed geometric-skip core.
+func Grid2D(x, y int64, p float64, wrap bool, seed uint64) (*graph.Graph, error) {
+	return collectModel(model.NewGrid(x, y, 1, p, wrap, 2, seed, 0))
+}
+
+// Grid3D is Grid2D for the x×y×z lattice.
+func Grid3D(x, y, z int64, p float64, wrap bool, seed uint64) (*graph.Graph, error) {
+	return collectModel(model.NewGrid(x, y, z, p, wrap, 3, seed, 0))
+}
+
 // WebGraph is the offline stand-in for the paper's web-NotreDame input: a
 // Holme–Kim style scale-free generator with triad closure. Each new
 // vertex makes m attachments; the first is preferential, and each

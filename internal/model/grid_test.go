@@ -1,0 +1,239 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"kronvalid/internal/stream"
+)
+
+// bruteForceGridEdges builds the full lattice edge set from the
+// neighbor definition alone — modular successors per axis, dedup via a
+// set — independent of the generator's candidate enumeration, and
+// returns it in canonical order.
+func bruteForceGridEdges(x, y, z int64, wrap bool) []stream.Arc {
+	id := func(cx, cy, cz int64) int64 { return cx + x*(cy+y*cz) }
+	seen := map[stream.Arc]bool{}
+	for cz := int64(0); cz < z; cz++ {
+		for cy := int64(0); cy < y; cy++ {
+			for cx := int64(0); cx < x; cx++ {
+				u := id(cx, cy, cz)
+				add := func(nx, ny, nz int64) {
+					v := id(nx, ny, nz)
+					if u == v {
+						return
+					}
+					a := stream.Arc{U: u, V: v}
+					if u > v {
+						a = stream.Arc{U: v, V: u}
+					}
+					seen[a] = true
+				}
+				if cx+1 < x {
+					add(cx+1, cy, cz)
+				} else if wrap && x > 1 {
+					add(0, cy, cz)
+				}
+				if cy+1 < y {
+					add(cx, cy+1, cz)
+				} else if wrap && y > 1 {
+					add(cx, 0, cz)
+				}
+				if cz+1 < z {
+					add(cx, cy, cz+1)
+				} else if wrap && z > 1 {
+					add(cx, cy, 0)
+				}
+			}
+		}
+	}
+	out := make([]stream.Arc, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sortArcs(out)
+	return out
+}
+
+func sortArcs(arcs []stream.Arc) {
+	for i := 1; i < len(arcs); i++ {
+		for j := i; j > 0 && (arcs[j].U < arcs[j-1].U ||
+			(arcs[j].U == arcs[j-1].U && arcs[j].V < arcs[j-1].V)); j-- {
+			arcs[j], arcs[j-1] = arcs[j-1], arcs[j]
+		}
+	}
+}
+
+// TestGridFullLattice is the p=1 oracle: the generator must emit
+// exactly the lattice edge set of the independent modular-neighbor
+// construction, in canonical order, across open and wrapped axes of
+// every degenerate length (1, 2, 3) where wraparound semantics bite.
+func TestGridFullLattice(t *testing.T) {
+	for _, tc := range []struct {
+		dim     int
+		x, y, z int64
+		wrap    bool
+	}{
+		{2, 7, 5, 1, false},
+		{2, 7, 5, 1, true},
+		{2, 2, 9, 1, true}, // length-2 axis: wrap must not duplicate
+		{2, 1, 9, 1, true}, // length-1 axis: no edges along it
+		{2, 3, 3, 1, true}, // smallest true torus
+		{3, 4, 3, 5, false},
+		{3, 4, 3, 5, true},
+		{3, 2, 2, 2, true}, // all axes too short to wrap
+		{3, 1, 1, 6, true}, // degenerate to a cycle
+	} {
+		g, err := NewGrid(tc.x, tc.y, tc.z, 1, tc.wrap, tc.dim, 1, 5)
+		if err != nil {
+			t.Fatalf("NewGrid(%v): %v", tc, err)
+		}
+		z := tc.z
+		if tc.dim == 2 {
+			z = 1
+		}
+		want := bruteForceGridEdges(tc.x, tc.y, z, tc.wrap)
+		got := Collect(g)
+		if !sameArcs(want, got) {
+			t.Errorf("%s: streamed %d arcs != lattice %d arcs", g.Name(), len(got), len(want))
+			continue
+		}
+		if int64(len(got)) != g.NumArcs() {
+			t.Errorf("%s: NumArcs %d != emitted %d", g.Name(), g.NumArcs(), len(got))
+		}
+		var split int64
+		for c := 0; c < g.Chunks(); c++ {
+			a := g.ChunkArcs(c)
+			if a < 0 {
+				t.Fatalf("%s: chunk %d count unknown at p=1", g.Name(), c)
+			}
+			split += a
+		}
+		if split != g.NumArcs() {
+			t.Errorf("%s: chunk counts sum to %d, want %d", g.Name(), split, g.NumArcs())
+		}
+	}
+}
+
+// TestGridBernoulliSubset checks the p<1 path: the kept edges must be a
+// subset of the full lattice, duplicate-free, in canonical order, with
+// a count within 6σ of p·candidates.
+func TestGridBernoulliSubset(t *testing.T) {
+	g, err := NewGrid(40, 30, 1, 0.3, true, 2, 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := map[stream.Arc]bool{}
+	for _, a := range bruteForceGridEdges(40, 30, 1, true) {
+		full[a] = true
+	}
+	got := Collect(g)
+	seen := map[stream.Arc]bool{}
+	for _, a := range got {
+		if !full[a] {
+			t.Fatalf("emitted non-lattice arc (%d,%d)", a.U, a.V)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate arc (%d,%d)", a.U, a.V)
+		}
+		seen[a] = true
+	}
+	mean := 0.3 * float64(len(full))
+	sd := math.Sqrt(mean * 0.7)
+	if d := math.Abs(float64(len(got)) - mean); d > 6*sd {
+		t.Errorf("kept %d of %d lattice edges, want %.0f ± %.0f", len(got), len(full), mean, 6*sd)
+	}
+	if g.NumArcs() != -1 {
+		t.Errorf("NumArcs at p<1 = %d, want -1", g.NumArcs())
+	}
+}
+
+// TestGridChunkCountIsStreamIdentity pins the documented rule: grid
+// draws per-chunk streams (like er), so different chunk counts are
+// different stream identities — but the same chunk count must be
+// byte-stable, and p=0 and p=1 must be chunk-count-invariant (no draws
+// at all).
+func TestGridChunkCountIsStreamIdentity(t *testing.T) {
+	mk := func(chunks int, p float64) []stream.Arc {
+		g, err := NewGrid(25, 25, 1, p, true, 2, 4, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Collect(g)
+	}
+	if !sameArcs(mk(4, 0.4), mk(4, 0.4)) {
+		t.Fatal("same spec produced different streams")
+	}
+	if !sameArcs(mk(3, 1), mk(11, 1)) {
+		t.Error("p=1 stream changed with chunk count")
+	}
+	if len(mk(3, 0)) != 0 {
+		t.Error("p=0 emitted arcs")
+	}
+}
+
+// TestGridRejectsOutOfRange pins the spec-boundary validation.
+func TestGridRejectsOutOfRange(t *testing.T) {
+	for _, tc := range []struct {
+		x, y, z int64
+		p       float64
+		dim     int
+	}{
+		{0, 5, 1, 1, 2},
+		{5, 0, 1, 1, 2},
+		{5, 5, 0, 1, 3},
+		{5, 5, 1, -0.1, 2},
+		{5, 5, 1, 1.1, 2},
+		{5, 5, 1, math.NaN(), 2},
+		{5, 5, 1, 1, 4},
+		{maxGridVertices, 2, 1, 1, 2},
+	} {
+		if _, err := NewGrid(tc.x, tc.y, tc.z, tc.p, false, tc.dim, 1, 0); err == nil {
+			t.Errorf("NewGrid(%d,%d,%d,p=%v,dim=%d) accepted", tc.x, tc.y, tc.z, tc.p, tc.dim)
+		}
+	}
+	if _, err := New("grid2d:x=10"); err == nil {
+		t.Error("grid2d without y accepted")
+	}
+	if _, err := New("grid3d:x=10,y=10"); err == nil {
+		t.Error("grid3d without z accepted")
+	}
+	if _, err := New("grid2d:x=10,y=10,wrap=maybe"); err == nil {
+		t.Error("non-boolean wrap accepted")
+	}
+	if _, err := New("grid2d:x=10,y=10,torus=true"); err == nil {
+		t.Error("unknown grid parameter accepted")
+	}
+}
+
+// TestGridCandPrefixMatchesEnumeration cross-checks the closed-form
+// candidate prefix against direct per-vertex candidate counting at
+// every prefix length, wrapped and open, 2D and 3D.
+func TestGridCandPrefixMatchesEnumeration(t *testing.T) {
+	for _, tc := range []struct {
+		dim     int
+		x, y, z int64
+		wrap    bool
+	}{
+		{2, 6, 4, 1, false},
+		{2, 6, 4, 1, true},
+		{2, 2, 3, 1, true},
+		{3, 3, 4, 5, true},
+		{3, 5, 1, 2, false},
+	} {
+		g, err := NewGrid(tc.x, tc.y, tc.z, 0.5, tc.wrap, tc.dim, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run int64
+		var cand []int64
+		for u := int64(0); u <= g.n; u++ {
+			if got := g.candPrefix(u); got != run {
+				t.Fatalf("%s: candPrefix(%d) = %d, running count %d", g.Name(), u, got, run)
+			}
+			if u < g.n {
+				run += int64(len(g.candidates(u, cand[:0])))
+			}
+		}
+	}
+}

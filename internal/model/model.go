@@ -64,6 +64,9 @@ const (
 	nsRGGCell   = 0x7267_6701 // RGG per-cell coordinate streams
 	nsRGGSplit  = 0x7267_6702 // RGG cell-occupancy splitting tree
 	nsBAPos     = 0x6261_0001 // BA per-edge-position hash streams
+	nsRHGCell   = 0x7268_6701 // RHG per-cell coordinate streams
+	nsRHGSplit  = 0x7268_6702 // RHG cell-occupancy splitting tree
+	nsGridChunk = 0x6772_6401 // grid lattice chunk streams
 )
 
 // DefaultChunks is the number of randomness chunks a model uses when the

@@ -52,6 +52,10 @@ var testSpecs = []string{
 	"rgg3d:n=1200,r=0.09,seed=4,chunks=21",
 	"ba:n=2000,d=3,seed=15",
 	"ba:n=900,d=5,s0=12,seed=2,chunks=11",
+	"rhg:n=3000,d=8,gamma=2.9,seed=6",
+	"rhg:n=1500,d=6,gamma=2.2,seed=3,chunks=19",
+	"grid2d:x=60,y=45,p=0.7,wrap=true,seed=8",
+	"grid3d:x=12,y=9,z=14,p=0.5,wrap=true,seed=2,chunks=9",
 }
 
 // TestByteIdentityAcrossShardAndWorkerCounts is the paper's central
@@ -389,7 +393,7 @@ func TestRegistrySpecs(t *testing.T) {
 		t.Error("gnm without m accepted")
 	}
 	kinds := Kinds()
-	for _, want := range []string{"er", "gnm", "rmat", "chunglu", "rgg2d", "rgg3d", "ba"} {
+	for _, want := range []string{"er", "gnm", "rmat", "chunglu", "rgg2d", "rgg3d", "ba", "rhg", "grid2d", "grid3d"} {
 		found := false
 		for _, k := range kinds {
 			found = found || k == want
@@ -428,7 +432,9 @@ func TestDependenciesContract(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, spatial := g.(*RGG)
+		_, isRGG := g.(*RGG)
+		_, isRHG := g.(*RHG)
+		spatial := isRGG || isRHG
 		for c := 0; c < g.Chunks(); c++ {
 			deps := g.Dependencies(c)
 			if !spatial && deps != nil {

@@ -1,0 +1,245 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"kronvalid/internal/stream"
+)
+
+// bruteForceRHG regenerates every cell's points through the Sample
+// phase and compares all pairs with the exact hyperbolic-distance
+// predicate — the structure-oblivious oracle for the band/window
+// enumeration.
+func bruteForceRHG(g *RHG) []stream.Arc {
+	var pts []float64
+	for c := 0; c < g.CellCount(); c++ {
+		pts = append(pts, g.samplePoints(c, nil)...)
+	}
+	n := int64(len(pts)) / 4
+	var out []stream.Arc
+	for u := int64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.within(pts[u*4:u*4+4], pts[v*4:v*4+4]) {
+				out = append(out, stream.Arc{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// TestRHGMatchesBruteForce is the slow all-pairs oracle: the streamed
+// band/window output (own cell + regenerated forward partners, each
+// undirected pair emitted once by the smaller endpoint's cell) must
+// equal the all-pairs sweep over the regenerated point set exactly —
+// any window too narrow, duplicate emission, or id misalignment shows
+// up here.
+func TestRHGMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		n      int64
+		deg    float64
+		gamma  float64
+		chunks int
+	}{
+		{700, 8, 2.5, 0},
+		{500, 6, 2.1, 5},  // heavy-tailed: hub band traffic dominates
+		{900, 4, 3.5, 7},  // sparse, many bands
+		{300, 20, 2.8, 3}, // dense disk, wide windows
+	} {
+		g, err := NewRHG(tc.n, tc.deg, tc.gamma, 77, tc.chunks)
+		if err != nil {
+			t.Fatalf("NewRHG(%v): %v", tc, err)
+		}
+		want := bruteForceRHG(g)
+		got := Collect(g)
+		if len(want) == 0 {
+			t.Fatalf("%s: oracle found no edges, test is vacuous", g.Name())
+		}
+		if !sameArcs(want, got) {
+			t.Errorf("%s: streamed %d arcs != brute force %d arcs", g.Name(), len(got), len(want))
+		}
+	}
+}
+
+// TestRHGCellCountsExact checks the Sample phase's splitting tree: the
+// per-cell occupancies must sum to n exactly and the prefix offsets
+// must match the running sum (ids are cell-major).
+func TestRHGCellCountsExact(t *testing.T) {
+	g, err := NewRHG(20000, 8, 2.7, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	var run int64
+	for c := 0; c < g.CellCount(); c++ {
+		if got := g.tree.prefix(c); got != run {
+			t.Fatalf("prefix(%d) = %d, running sum %d", c, got, run)
+		}
+		cnt := g.CellVertices(c)
+		total += cnt
+		run += cnt
+	}
+	if total != g.n {
+		t.Fatalf("cell occupancies sum to %d, want exactly %d", total, g.n)
+	}
+	// Bands must be outermost-first with strictly shrinking radii down
+	// to zero — the ordering the forward-window argument relies on.
+	if g.bands[0].rHi != g.R {
+		t.Fatalf("band 0 outer edge %v, want disk radius %v", g.bands[0].rHi, g.R)
+	}
+	for b := 1; b < len(g.bands); b++ {
+		if g.bands[b].rHi != g.bands[b-1].rLo {
+			t.Fatalf("band %d does not tile: rHi %v != previous rLo %v", b, g.bands[b].rHi, g.bands[b-1].rLo)
+		}
+	}
+	if last := g.bands[len(g.bands)-1]; last.rLo != 0 {
+		t.Fatalf("innermost band starts at %v, want 0", last.rLo)
+	}
+}
+
+// TestRHGMeanDegree checks the Krioukov radius condition end to end:
+// the realized mean degree must track the target d̄ the disk radius was
+// solved for. The n-finite correction is O(1/log n), so the band is
+// generous but still catches any mis-scaled radius or threshold.
+func TestRHGMeanDegree(t *testing.T) {
+	g, err := NewRHG(30000, 10, 2.9, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := Collect(g)
+	mean := 2 * float64(len(arcs)) / float64(g.n)
+	if want := g.TargetDegree(); math.Abs(mean-want) > 0.30*want {
+		t.Errorf("mean degree %.3f deviates more than 30%% from target %.3f", mean, want)
+	}
+}
+
+// TestRHGDependenciesDeclared checks the Enumerate phase's declaration:
+// every foreign cell a chunk regenerates is a forward partner of an
+// owned cell, lies outside the chunk's own cell run, the list is sorted
+// and duplicate-free and complete, and interior chunks actually declare
+// some.
+func TestRHGDependenciesDeclared(t *testing.T) {
+	g, err := NewRHG(3000, 8, 2.6, 11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declaredAny := false
+	for c := 0; c < g.Chunks(); c++ {
+		lo, hi := g.runs[c][0], g.runs[c][1]
+		deps := g.Dependencies(c)
+		if len(deps) > 0 {
+			declaredAny = true
+		}
+		forward := map[int64]bool{}
+		for cell := lo; cell < hi; cell++ {
+			for _, nb := range g.forwardPartners(cell) {
+				forward[int64(nb)] = true
+			}
+		}
+		for i, dep := range deps {
+			if dep < int64(hi) || dep >= int64(g.CellCount()) {
+				t.Fatalf("chunk %d declares dependency %d outside the foreign range [%d,%d)", c, dep, hi, g.CellCount())
+			}
+			if i > 0 && deps[i-1] >= dep {
+				t.Fatalf("chunk %d dependencies not strictly ascending: %v", c, deps)
+			}
+			if !forward[dep] {
+				t.Fatalf("chunk %d declares %d, which no owned cell reads", c, dep)
+			}
+		}
+		declared := map[int64]bool{}
+		for _, dep := range deps {
+			declared[dep] = true
+		}
+		for nb := range forward {
+			if nb >= int64(hi) && !declared[nb] {
+				t.Fatalf("chunk %d reads foreign cell %d but does not declare it", c, nb)
+			}
+		}
+	}
+	if !declaredAny {
+		t.Fatal("no chunk declared any dependency — test is vacuous")
+	}
+}
+
+// TestRHGChunkCountDoesNotChangeStream pins the Sample/Enumerate
+// separation: bands, cells, occupancies and coordinates are fixed by
+// (n, d̄, γ, seed), so the chunk count only groups cells and must NOT
+// change a single byte — including across the halo-cache eviction
+// threshold, which one-cell chunks exercise differently than one big
+// chunk.
+func TestRHGChunkCountDoesNotChangeStream(t *testing.T) {
+	base, err := NewRHG(2000, 8, 2.7, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Collect(base)
+	for _, chunks := range []int{1, 7, 64, 500} {
+		g, err := NewRHG(2000, 8, 2.7, 3, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameArcs(want, Collect(g)) {
+			t.Errorf("chunks=%d changed the rhg stream", chunks)
+		}
+	}
+}
+
+// TestRHGRejectsOutOfRange pins the spec-boundary validation.
+func TestRHGRejectsOutOfRange(t *testing.T) {
+	for _, tc := range []struct {
+		n     int64
+		deg   float64
+		gamma float64
+	}{
+		{-1, 8, 2.5},
+		{maxRHGVertices + 1, 8, 2.5},
+		{1000, 0, 2.5},
+		{1000, -3, 2.5},
+		{1000, math.NaN(), 2.5},
+		{1000, math.Inf(1), 2.5},
+		{1000, 8, 2}, // γ must exceed 2 (α > 1/2)
+		{1000, 8, 1.5},
+		{1000, 8, math.NaN()},
+		{1000, 8, 65},
+		{100, 1e9, 2.5}, // degree too large: disk radius would be <= 0
+	} {
+		if _, err := NewRHG(tc.n, tc.deg, tc.gamma, 1, 0); err == nil {
+			t.Errorf("NewRHG(%d, %v, %v) accepted", tc.n, tc.deg, tc.gamma)
+		}
+	}
+	if _, err := New("rhg:n=100"); err == nil {
+		t.Error("rhg without d accepted")
+	}
+	if _, err := New("rhg:n=100,d=8,deg=9"); err == nil {
+		t.Error("unknown rhg parameter accepted")
+	}
+	// n = 0 is a valid empty graph, not an error.
+	g, err := NewRHG(0, 8, 2.5, 1, 0)
+	if err != nil {
+		t.Fatalf("NewRHG(n=0): %v", err)
+	}
+	if len(Collect(g)) != 0 {
+		t.Error("empty rhg emitted arcs")
+	}
+}
+
+// TestRHGEvictionDoesNotChangeStream forces the halo cache through its
+// eviction path (by shrinking the cap to near zero via a copy of the
+// generation loop is impractical, so instead: a 1-cell-per-chunk
+// grouping regenerates every partner cell per chunk while the 1-chunk
+// grouping caches everything) — byte equality between the two is the
+// purity proof for regeneration-on-demand.
+func TestRHGEvictionDoesNotChangeStream(t *testing.T) {
+	a, err := NewRHG(1200, 10, 2.4, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRHG(1200, 10, 2.4, 9, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameArcs(Collect(a), Collect(b)) {
+		t.Error("per-cell chunking (regenerate everything) differs from whole-disk chunking (cache everything)")
+	}
+}

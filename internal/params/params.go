@@ -100,6 +100,20 @@ func (p *Params) FloatReq(key string) (float64, error) {
 	return p.Float(key, 0)
 }
 
+// Bool returns a boolean parameter with a default, accepting the
+// strconv.ParseBool forms (true/false, t/f, 1/0, …).
+func (p *Params) Bool(key string, def bool) (bool, error) {
+	s, ok := p.lookup(key)
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, fmt.Errorf("parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
 // String returns a string parameter ("" when absent; ok reports
 // presence).
 func (p *Params) String(key string) (string, bool) {

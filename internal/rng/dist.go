@@ -177,6 +177,20 @@ func (g *Xoshiro256) UnitUniform(dst []float64) {
 	g.s[0], g.s[1], g.s[2], g.s[3] = s0, s1, s2, s3
 }
 
+// HyperbolicRadius returns one sample of the radial law of random
+// hyperbolic graphs truncated to a band [rLo, rHi): density ∝ sinh(α·r),
+// sampled by CDF inversion — with U uniform in [0, 1),
+//
+//	r = acosh(cosh(α·rLo) + U·(cosh(α·rHi) − cosh(α·rLo))) / α.
+//
+// The caller hoists the band constants: coshLo = cosh(α·rLo), span =
+// cosh(α·rHi) − cosh(α·rLo), invAlpha = 1/α. Consumes exactly one draw,
+// so a point stream's layout stays a pure function of the generator
+// state.
+func (g *Xoshiro256) HyperbolicRadius(invAlpha, coshLo, span float64) float64 {
+	return math.Acosh(coshLo+g.Float64()*span) * invAlpha
+}
+
 // NewStream2 returns a generator for a two-level logical stream id, the
 // nested analogue of NewStream: first the namespace id (e.g. a model- or
 // purpose-specific salt), then the element id (e.g. a chunk index or a

@@ -208,3 +208,48 @@ func TestUnitUniform(t *testing.T) {
 		t.Errorf("UnitUniform draw layout differs from Float64 sequence: %v != %v", got, want)
 	}
 }
+
+// TestHyperbolicRadius checks the truncated sinh(α·r) sampler: every
+// sample stays in its band [rLo, rHi), the empirical CDF matches the
+// analytic (cosh(α·r)−cosh(α·rLo))/span law at interior quantiles, and
+// each call consumes exactly one draw.
+func TestHyperbolicRadius(t *testing.T) {
+	const alpha, rLo, rHi = 0.95, 2.0, 3.5
+	coshLo := math.Cosh(alpha * rLo)
+	span := math.Cosh(alpha*rHi) - coshLo
+	g := New(5)
+	const trials = 40000
+	samples := make([]float64, trials)
+	for i := range samples {
+		r := g.HyperbolicRadius(1/alpha, coshLo, span)
+		if r < rLo || r >= rHi {
+			t.Fatalf("sample %v outside [%v, %v)", r, rLo, rHi)
+		}
+		samples[i] = r
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		// Analytic quantile: r with F(r) = q.
+		rq := math.Acosh(coshLo+q*span) / alpha
+		var below float64
+		for _, r := range samples {
+			if r < rq {
+				below++
+			}
+		}
+		emp := below / trials
+		sd := math.Sqrt(q * (1 - q) / trials)
+		if math.Abs(emp-q) > 6*sd {
+			t.Errorf("quantile %v: empirical CDF %.4f, want %.4f ± %.4f", q, emp, q, 6*sd)
+		}
+	}
+	// Exactly one draw per call: two generators from the same seed, one
+	// advanced by HyperbolicRadius and one by Float64, must stay in step.
+	a, b := New(9), New(9)
+	for i := 0; i < 100; i++ {
+		a.HyperbolicRadius(1/alpha, coshLo, span)
+		b.Float64()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("HyperbolicRadius does not consume exactly one draw")
+	}
+}

@@ -13,6 +13,9 @@
 //	rmat:scale=10,edges=16384,seed=1    R-MAT (defaults to Graph500 parameters)
 //	rgg2d:n=1000,r=0.05,seed=1          random geometric graph, unit square
 //	rgg3d:n=1000,r=0.1,seed=1           random geometric graph, unit cube
+//	rhg:n=1000,d=8,gamma=2.9,seed=1     random hyperbolic graph
+//	grid2d:x=30,y=20,wrap=true          lattice / torus (p= keeps edges)
+//	grid3d:x=10,y=10,z=10,p=0.5         3D lattice with Bernoulli edges
 //	file:path=edges.tsv,n=100           TSV edge list (symmetrized)
 //
 // A trailing "+loops" adds a self loop at every vertex (B = A + I).
@@ -251,6 +254,52 @@ func builder(kind string, p *params.Params) (maker, error) {
 				return gen.RGG3D(int64(n), r, seed)
 			}
 			return gen.RGG2D(int64(n), r, seed)
+		}, nil
+	case "rhg":
+		n, err := boundedVertexCount(p)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.FloatReq("d")
+		if err != nil {
+			return nil, err
+		}
+		gamma, err := p.Float("gamma", 3)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*graph.Graph, error) { return gen.RHG(int64(n), d, gamma, seed) }, nil
+	case "grid2d", "grid3d":
+		x, err := p.Int64("x", -1)
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.Int64("y", -1)
+		if err != nil {
+			return nil, err
+		}
+		z := int64(1)
+		if kind == "grid3d" {
+			if z, err = p.Int64("z", -1); err != nil {
+				return nil, err
+			}
+		}
+		prob, err := p.Float("p", 1)
+		if err != nil {
+			return nil, err
+		}
+		wrap, err := p.Bool("wrap", false)
+		if err != nil {
+			return nil, err
+		}
+		if n := x * y * z; x > 0 && y > 0 && z > 0 && n > math.MaxInt32 {
+			return nil, fmt.Errorf("spec: grid with %d vertices too large for an explicit factor", n)
+		}
+		return func() (*graph.Graph, error) {
+			if kind == "grid3d" {
+				return gen.Grid3D(x, y, z, prob, wrap, seed)
+			}
+			return gen.Grid2D(x, y, prob, wrap, seed)
 		}, nil
 	case "file":
 		path, ok := p.String("path")

@@ -11,7 +11,8 @@ func TestModelKindsRegistered(t *testing.T) {
 	kinds := ModelKinds()
 	want := map[string]bool{
 		"er": false, "gnm": false, "rmat": false, "chunglu": false,
-		"rgg2d": false, "rgg3d": false, "ba": false,
+		"rgg2d": false, "rgg3d": false, "ba": false, "rhg": false,
+		"grid2d": false, "grid3d": false,
 	}
 	for _, k := range kinds {
 		if _, ok := want[k]; ok {
@@ -38,6 +39,9 @@ func TestStreamModelDeterministicAcrossWorkerCounts(t *testing.T) {
 		"rgg2d:n=2500,r=0.03,seed=12",
 		"rgg3d:n=1000,r=0.1,seed=13",
 		"ba:n=2500,d=4,seed=14",
+		"rhg:n=2000,d=8,gamma=2.8,seed=15",
+		"grid2d:x=50,y=40,p=0.6,wrap=true,seed=16",
+		"grid3d:x=12,y=10,z=8,p=0.5,wrap=true,seed=17",
 	} {
 		g, err := NewGenerator(spec)
 		if err != nil {
@@ -184,5 +188,48 @@ func TestRGGPublicAPI(t *testing.T) {
 	}
 	if mg.Name() != "rgg2d:n=800,r=0.06,seed=3,chunks=64" {
 		t.Errorf("alias spec resolved to %q", mg.Name())
+	}
+}
+
+func TestRHGPublicAPI(t *testing.T) {
+	g, err := RHG(600, 8, 2.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSymmetric() || g.HasAnyLoop() || g.NumEdgesUndirected() == 0 {
+		t.Fatal("RHG graph malformed or empty")
+	}
+	if _, err := RHG(600, 8, 2, 4); err == nil {
+		t.Error("gamma = 2 accepted")
+	}
+	// The KaGen-style spec alias reaches the same generator.
+	mg, err := NewGenerator("rhg(n=600;d=8;gamma=2.6;seed=4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Name() != "rhg:n=600,d=8,gamma=2.6,seed=4,chunks=64" {
+		t.Errorf("alias spec resolved to %q", mg.Name())
+	}
+}
+
+func TestGridPublicAPI(t *testing.T) {
+	g, err := Grid2D(9, 7, 1, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full 9×7 torus: every vertex has degree 4, so 2·63 edges.
+	if got := g.NumEdgesUndirected(); got != 126 {
+		t.Fatalf("Grid2D torus edges = %d, want 126", got)
+	}
+	g3, err := Grid3D(4, 4, 4, 1, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full 4³ torus: degree 6 everywhere, 3·64 edges.
+	if got := g3.NumEdgesUndirected(); got != 192 {
+		t.Fatalf("Grid3D torus edges = %d, want 192", got)
+	}
+	if _, err := Grid2D(0, 5, 1, false, 1); err == nil {
+		t.Error("zero extent accepted")
 	}
 }

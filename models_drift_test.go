@@ -1,0 +1,59 @@
+package kronvalid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestModelReferenceCoversRegistry is the registry/doc drift gate (run
+// as a named CI job): every kind returned by ModelKinds must have a
+// "## `kind`" section in MODELS.md and a BenchmarkModelStream/
+// <kind>-stream row in BENCH_baseline.json. Registering a model
+// without documenting and benchmarking it fails the build, so the
+// model reference can never silently fall behind the registry.
+func TestModelReferenceCoversRegistry(t *testing.T) {
+	doc, err := os.ReadFile("MODELS.md")
+	if err != nil {
+		t.Fatalf("MODELS.md unreadable: %v", err)
+	}
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("BENCH_baseline.json unreadable: %v", err)
+	}
+	var baseline struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("BENCH_baseline.json: %v", err)
+	}
+	kinds := ModelKinds()
+	if len(kinds) == 0 {
+		t.Fatal("no registered model kinds — the gate is vacuous")
+	}
+	for _, kind := range kinds {
+		if heading := fmt.Sprintf("## `%s`", kind); !strings.Contains(string(doc), heading) {
+			t.Errorf("MODELS.md has no %q section for registered kind %q", heading, kind)
+		}
+		if row := fmt.Sprintf("BenchmarkModelStream/%s-stream", kind); baseline.Benchmarks[row] == nil {
+			t.Errorf("BENCH_baseline.json has no %q row for registered kind %q", row, kind)
+		}
+	}
+	// The reference must not document ghosts either: every "## `x`"
+	// heading has to name a registered kind.
+	registered := map[string]bool{}
+	for _, k := range kinds {
+		registered[k] = true
+	}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(line, "## `") {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(line, "## `"), "`")
+		if !registered[name] {
+			t.Errorf("MODELS.md documents %q, which is not a registered kind", name)
+		}
+	}
+}
