@@ -685,6 +685,7 @@ func BenchmarkModelStream(b *testing.B) {
 
 	streamCount := func(b *testing.B, g ModelGenerator) {
 		b.Helper()
+		b.ReportAllocs()
 		var arcs int64
 		for i := 0; i < b.N; i++ {
 			var count stream.CountSink
@@ -699,11 +700,15 @@ func BenchmarkModelStream(b *testing.B) {
 	// The -parallel rows run the same workload through the unified
 	// pipeline with GOMAXPROCS workers: on a multi-core runner they
 	// demonstrate (and the bench gate protects) the communication-free
-	// scaling claim; on a single core they cost only the pipeline's
-	// ordering overhead.
+	// scaling claim. On a single core they would silently equal the
+	// serial rows and mask scaling regressions, so they skip instead.
 	workers := runtime.GOMAXPROCS(0)
 	streamParallel := func(b *testing.B, g ModelGenerator) {
 		b.Helper()
+		if workers == 1 {
+			b.Skip("GOMAXPROCS=1: parallel row would duplicate the serial row and mask scaling regressions")
+		}
+		b.ReportAllocs()
 		ctx := context.Background()
 		var arcs int64
 		for i := 0; i < b.N; i++ {

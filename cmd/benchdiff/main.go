@@ -5,15 +5,23 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'StreamEdges|CSRBuild' ./... | tee bench.txt
+//	go test -run '^$' -bench 'StreamEdges|CSRBuild' -benchmem ./... | tee bench.txt
 //	benchdiff -baseline BENCH_baseline.json bench.txt            # gate
 //	benchdiff -baseline BENCH_baseline.json -update bench.txt    # refresh
 //
 // Comparison uses MB/s when both sides report it (higher is better) and
-// falls back to ns/op (lower is better). Benchmarks present in the
+// falls back to ns/op (lower is better). When both sides carry an
+// allocs/op figure (run the benchmarks with -benchmem), allocation
+// regressions past -max-alloc-regress fail the gate too, locking in
+// scratch-reuse wins alongside throughput. Benchmarks present in the
 // baseline but missing from the new output fail the gate — a silently
 // skipped benchmark must not read as a pass; restrict the gate with
 // -filter instead.
+//
+// On -update the baseline records the bench environment (goos/goarch,
+// CPU model and GOMAXPROCS from the bench headers, CPU count from the
+// running machine) so a baseline measured on different hardware is
+// visible in review rather than a silent gate shift.
 package main
 
 import (
@@ -25,20 +33,34 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. AllocsPerOp is -1 when the bench
+// output carried no -benchmem columns, so a genuine 0 allocs/op row is
+// distinguishable from an unmeasured one.
 type Result struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	MBPerS  float64 `json:"mb_per_s,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Env records where a baseline was measured.
+type Env struct {
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
 }
 
 // Baseline is the committed reference file.
 type Baseline struct {
 	Note       string            `json:"note,omitempty"`
+	Env        *Env              `json:"env,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -48,6 +70,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 	update := flag.Bool("update", false, "rewrite the baseline from the bench output instead of gating")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20, "maximum allowed fractional allocs/op increase (gated only when both sides measured allocs)")
 	filter := flag.String("filter", "", "regexp restricting which baseline benchmarks are gated (default: all)")
 	note := flag.String("note", "", "note stored in the baseline on -update")
 	flag.Parse()
@@ -61,7 +84,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	results, err := ParseBench(in)
+	results, env, err := ParseBench(in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +93,14 @@ func main() {
 	}
 
 	if *update {
-		b := Baseline{Note: *note, Benchmarks: results}
+		env.NumCPU = runtime.NumCPU()
+		for name, r := range results {
+			if r.AllocsPerOp < 0 {
+				r.AllocsPerOp = 0 // unmeasured: keep the field out of the JSON
+				results[name] = r
+			}
+		}
+		b := Baseline{Note: *note, Env: env, Benchmarks: results}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -98,7 +128,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	report, failed := Compare(base.Benchmarks, results, *maxRegress, re)
+	report, failed := Compare(base.Benchmarks, results, *maxRegress, *maxAllocRegress, re)
 	fmt.Print(report)
 	if failed {
 		os.Exit(1)
@@ -108,33 +138,54 @@ func main() {
 // benchLine matches `BenchmarkName[-procs]   N   <value> <unit> ...`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+\d+\s+(.*)$`)
 
-// ParseBench extracts per-benchmark ns/op and MB/s from `go test -bench`
-// output. The trailing GOMAXPROCS suffix (-8) is stripped so results
-// compare across machines; if a benchmark appears several times (e.g.
-// -count > 1) the best throughput wins, damping scheduler noise.
-func ParseBench(r io.Reader) (map[string]Result, error) {
+// ParseBench extracts per-benchmark ns/op, MB/s and allocs/op from
+// `go test -bench` output, plus the run environment from the header
+// lines (goos/goarch/cpu) and the GOMAXPROCS name suffix. The suffix
+// (-8) is stripped from names so results compare across machines; if a
+// benchmark appears several times (e.g. -count > 1) the best throughput
+// wins, damping scheduler noise.
+func ParseBench(r io.Reader) (map[string]Result, *Env, error) {
 	out := map[string]Result{}
+	env := &Env{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			env.GOOS = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			env.GOARCH = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			env.CPU = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
-		name := stripProcs(m[1])
+		name, procs := stripProcs(m[1])
+		if procs > 0 {
+			env.GoMaxProcs = procs
+		}
 		res, ok := out[name]
-		cur := Result{}
+		cur := Result{AllocsPerOp: -1}
 		fields := strings.Fields(m[2])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchdiff: bad value %q for %s", fields[i], name)
+				return nil, nil, fmt.Errorf("benchdiff: bad value %q for %s", fields[i], name)
 			}
 			switch fields[i+1] {
 			case "ns/op":
 				cur.NsPerOp = v
 			case "MB/s":
 				cur.MBPerS = v
+			case "allocs/op":
+				cur.AllocsPerOp = v
 			}
 		}
 		if cur.NsPerOp == 0 {
@@ -144,7 +195,7 @@ func ParseBench(r io.Reader) (map[string]Result, error) {
 			out[name] = cur
 		}
 	}
-	return out, sc.Err()
+	return out, env, sc.Err()
 }
 
 // better reports whether a beats b on throughput.
@@ -155,16 +206,18 @@ func better(a, b Result) bool {
 	return a.NsPerOp < b.NsPerOp
 }
 
-// stripProcs removes the trailing -<GOMAXPROCS> suffix go test appends.
-func stripProcs(name string) string {
+// stripProcs removes the trailing -<GOMAXPROCS> suffix go test appends,
+// returning the bare name and the suffix value (0 when absent).
+func stripProcs(name string) (string, int) {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], procs
 }
 
 // Ratio returns new/old throughput (>1 is faster) using MB/s when both
@@ -179,9 +232,17 @@ func Ratio(old, new Result) float64 {
 	return old.NsPerOp / new.NsPerOp
 }
 
+// measuredAllocs reports whether r carries an allocs/op figure. In
+// freshly parsed results an unmeasured row is -1; in baselines written
+// before the field existed (or marshalled from a 0-alloc row, which
+// omitempty drops) it decodes as 0 — treat only strictly positive
+// values as measured there, so old baselines never gate allocations.
+func measuredAllocs(r Result) bool { return r.AllocsPerOp > 0 }
+
 // Compare gates new results against the baseline, returning a
-// human-readable report and whether the gate failed.
-func Compare(base, results map[string]Result, maxRegress float64, filter *regexp.Regexp) (string, bool) {
+// human-readable report and whether the gate failed. Throughput always
+// gates; allocs/op gates only where both sides measured it.
+func Compare(base, results map[string]Result, maxRegress, maxAllocRegress float64, filter *regexp.Regexp) (string, bool) {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if filter == nil || filter.MatchString(name) {
@@ -209,6 +270,11 @@ func Compare(base, results map[string]Result, maxRegress float64, filter *regexp
 		verdict := "ok"
 		if ratio < 1-maxRegress {
 			verdict = fmt.Sprintf("FAIL (>%.0f%% regression)", maxRegress*100)
+			failed = true
+		} else if measuredAllocs(old) && cur.AllocsPerOp >= 0 &&
+			cur.AllocsPerOp > old.AllocsPerOp*(1+maxAllocRegress) {
+			verdict = fmt.Sprintf("FAIL (allocs/op %.0f -> %.0f, >%.0f%% increase)",
+				old.AllocsPerOp, cur.AllocsPerOp, maxAllocRegress*100)
 			failed = true
 		}
 		fmt.Fprintf(&sb, "%-55s %14s %14s %7.2fx  %s\n", name, format(old), format(cur), ratio, verdict)

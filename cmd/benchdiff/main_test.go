@@ -10,7 +10,7 @@ const sampleBench = `goos: linux
 goarch: amd64
 pkg: kronvalid
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
-BenchmarkStreamEdges/batched-8         	      39	  28431364 ns/op	13274.45 MB/s	  23588640 arcs/op
+BenchmarkStreamEdges/batched-8         	      39	  28431364 ns/op	13274.45 MB/s	  23588640 arcs/op	     112 B/op	       3 allocs/op
 BenchmarkStreamEdges/parallel-8        	      10	 120000000 ns/op	 3000.00 MB/s
 BenchmarkCSRBuild/two-pass-parallel-8  	       3	 420000000 ns/op	  898.68 MB/s	  23588640 arcs/op
 BenchmarkVertexStatLookup-8            	96359066	        12.47 ns/op
@@ -19,7 +19,7 @@ ok  	kronvalid	10.2s
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := ParseBench(strings.NewReader(sampleBench))
+	got, env, err := ParseBench(strings.NewReader(sampleBench))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,8 +33,23 @@ func TestParseBench(t *testing.T) {
 	if b.NsPerOp != 28431364 || b.MBPerS != 13274.45 {
 		t.Fatalf("batched = %+v", b)
 	}
+	if b.AllocsPerOp != 3 {
+		t.Fatalf("batched allocs/op = %v, want 3", b.AllocsPerOp)
+	}
 	if l := got["BenchmarkVertexStatLookup"]; l.NsPerOp != 12.47 || l.MBPerS != 0 {
 		t.Fatalf("lookup = %+v", l)
+	}
+	if a := got["BenchmarkVertexStatLookup"].AllocsPerOp; a != -1 {
+		t.Fatalf("unmeasured allocs/op = %v, want -1 sentinel", a)
+	}
+	if env.GOOS != "linux" || env.GOARCH != "amd64" {
+		t.Fatalf("env platform = %+v", env)
+	}
+	if !strings.Contains(env.CPU, "Xeon") {
+		t.Fatalf("env cpu = %q", env.CPU)
+	}
+	if env.GoMaxProcs != 8 {
+		t.Fatalf("env gomaxprocs = %d, want 8 (from the -8 suffix)", env.GoMaxProcs)
 	}
 }
 
@@ -43,7 +58,7 @@ func TestParseBenchKeepsBestOfRepeats(t *testing.T) {
 BenchmarkX-8   10   100 ns/op
 BenchmarkX-8   10   300 ns/op
 `
-	got, err := ParseBench(strings.NewReader(in))
+	got, _, err := ParseBench(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +81,7 @@ func TestRatioPrefersThroughput(t *testing.T) {
 func TestComparePassesWithinThreshold(t *testing.T) {
 	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100}}
 	cur := map[string]Result{"BenchmarkA": {NsPerOp: 120, MBPerS: 85}}
-	report, failed := Compare(base, cur, 0.20, nil)
+	report, failed := Compare(base, cur, 0.20, 0.20, nil)
 	if failed {
 		t.Fatalf("15%% regression failed a 20%% gate:\n%s", report)
 	}
@@ -75,7 +90,7 @@ func TestComparePassesWithinThreshold(t *testing.T) {
 func TestCompareFailsBeyondThreshold(t *testing.T) {
 	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100}}
 	cur := map[string]Result{"BenchmarkA": {NsPerOp: 200, MBPerS: 50}}
-	report, failed := Compare(base, cur, 0.20, nil)
+	report, failed := Compare(base, cur, 0.20, 0.20, nil)
 	if !failed {
 		t.Fatalf("50%% regression passed a 20%% gate:\n%s", report)
 	}
@@ -87,7 +102,7 @@ func TestCompareFailsBeyondThreshold(t *testing.T) {
 func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	base := map[string]Result{"BenchmarkA": {NsPerOp: 100}, "BenchmarkB": {NsPerOp: 100}}
 	cur := map[string]Result{"BenchmarkA": {NsPerOp: 100}}
-	if _, failed := Compare(base, cur, 0.20, nil); !failed {
+	if _, failed := Compare(base, cur, 0.20, 0.20, nil); !failed {
 		t.Fatal("missing benchmark passed the gate")
 	}
 }
@@ -98,10 +113,43 @@ func TestCompareFilter(t *testing.T) {
 		"BenchmarkIgnored": {NsPerOp: 100},
 	}
 	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 90}}
-	if report, failed := Compare(base, cur, 0.20, regexp.MustCompile("Gated")); failed {
+	if report, failed := Compare(base, cur, 0.20, 0.20, regexp.MustCompile("Gated")); failed {
 		t.Fatalf("filtered compare failed:\n%s", report)
 	}
-	if _, failed := Compare(base, cur, 0.20, regexp.MustCompile("NothingMatches")); !failed {
+	if _, failed := Compare(base, cur, 0.20, 0.20, regexp.MustCompile("NothingMatches")); !failed {
 		t.Fatal("empty gate set must fail, not silently pass")
+	}
+}
+
+func TestCompareGatesAllocRegressions(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: 100}}
+
+	// Throughput fine, allocs up 10%: inside the 20% alloc gate.
+	cur := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: 110}}
+	if report, failed := Compare(base, cur, 0.20, 0.20, nil); failed {
+		t.Fatalf("10%% alloc increase failed a 20%% gate:\n%s", report)
+	}
+
+	// Throughput fine, allocs up 50%: the alloc gate must catch it.
+	cur = map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: 150}}
+	report, failed := Compare(base, cur, 0.20, 0.20, nil)
+	if !failed {
+		t.Fatalf("50%% alloc increase passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op") {
+		t.Fatalf("report does not name the alloc failure:\n%s", report)
+	}
+
+	// Current side unmeasured (-1): alloc gate must not fire.
+	cur = map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: -1}}
+	if report, failed := Compare(base, cur, 0.20, 0.20, nil); failed {
+		t.Fatalf("unmeasured current allocs failed the gate:\n%s", report)
+	}
+
+	// Baseline unmeasured (0, e.g. pre-field baseline): gate must not fire.
+	base = map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100}}
+	cur = map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: 9999}}
+	if report, failed := Compare(base, cur, 0.20, 0.20, nil); failed {
+		t.Fatalf("alloc gate fired against an unmeasured baseline:\n%s", report)
 	}
 }

@@ -130,6 +130,47 @@ type Generator interface {
 	GenerateChunk(c int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc))
 }
 
+// WorkerState is opaque per-worker scratch a caching generator reuses
+// across the chunks one worker executes: dependency-cell samples, memo
+// tables, hit buffers. It is the *cost* side of generation only — the
+// Sample phase is pure, so regenerating a cell and reading it back from
+// a cache yield identical values, and carrying (or dropping) state can
+// never move an emitted byte. A WorkerState must only be used by one
+// goroutine at a time.
+type WorkerState interface {
+	// ResidentPoints returns the number of sample points currently held
+	// by the state's cell cache — the quantity the eviction cap bounds.
+	ResidentPoints() int64
+}
+
+// ChunkCacher is the optional worker-lifetime caching extension of
+// Generator: drivers that execute many chunks on one goroutine create
+// one WorkerState per worker and pass it to every GenerateChunkWith
+// call, so neighboring chunks stop regenerating the same halo cells and
+// re-descending the same splitting-tree prefixes. GenerateChunk(c, …)
+// must stay equivalent to GenerateChunkWith(NewWorkerState(), c, …) —
+// the cache trades CPU for memory, never bytes.
+type ChunkCacher interface {
+	Generator
+	// NewWorkerState returns fresh state for one worker goroutine.
+	NewWorkerState() WorkerState
+	// GenerateChunkWith is GenerateChunk reading and extending ws.
+	GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc))
+}
+
+// boundGen returns g's chunk-generation function bound to one fresh
+// worker state when g caches, and plain GenerateChunk otherwise — the
+// single place drivers decide between the two entry points.
+func boundGen(g Generator) func(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	if cc, ok := g.(ChunkCacher); ok {
+		ws := cc.NewWorkerState()
+		return func(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+			cc.GenerateChunkWith(ws, c, buf, emit)
+		}
+	}
+	return g.GenerateChunk
+}
+
 // noDeps is embedded by models whose chunks read no foreign sample
 // cells: their Enumerate phase touches only streams the chunk itself
 // owns, so the dependency declaration is empty.
@@ -164,6 +205,61 @@ func (b *batcher) add(u, v int64) bool {
 			return false
 		}
 		b.buf = b.buf[:0]
+	}
+	return true
+}
+
+// addRun appends arcs (u, base+hits[0]), (u, base+hits[1]), … — the
+// batched form of one add call per hit. The hit indices come from a
+// kernel's scratch buffer and must be ascending; emission order and
+// bytes are identical to the per-arc loop it replaces, only the
+// per-arc closure dispatch is gone.
+func (b *batcher) addRun(u, base int64, hits []int32) bool {
+	for len(hits) > 0 {
+		room := cap(b.buf) - len(b.buf)
+		n := len(hits)
+		if n > room {
+			n = room
+		}
+		for _, h := range hits[:n] {
+			b.buf = append(b.buf, stream.Arc{U: u, V: base + int64(h)})
+		}
+		hits = hits[n:]
+		if len(b.buf) == cap(b.buf) {
+			b.buf = b.emit(b.buf)
+			if b.buf == nil {
+				b.stopped = true
+				return false
+			}
+			b.buf = b.buf[:0]
+		}
+	}
+	return true
+}
+
+// addIdx is addRun with indirect targets: it appends (u, vids[hits[0]]),
+// (u, vids[hits[1]]), … — the emission shape of kernels that scan a
+// flattened multi-cell segment whose global ids live in a parallel
+// array. Identical per-arc emission order to the add loop it batches.
+func (b *batcher) addIdx(u int64, vids []int64, hits []int32) bool {
+	for len(hits) > 0 {
+		room := cap(b.buf) - len(b.buf)
+		n := len(hits)
+		if n > room {
+			n = room
+		}
+		for _, h := range hits[:n] {
+			b.buf = append(b.buf, stream.Arc{U: u, V: vids[h]})
+		}
+		hits = hits[n:]
+		if len(b.buf) == cap(b.buf) {
+			b.buf = b.emit(b.buf)
+			if b.buf == nil {
+				b.stopped = true
+				return false
+			}
+			b.buf = b.buf[:0]
+		}
 	}
 	return true
 }
@@ -355,8 +451,9 @@ func Collect(g Generator) []stream.Arc {
 		out = make([]stream.Arc, 0, n)
 	}
 	buf := make([]stream.Arc, 0, stream.DefaultBatchSize)
+	gen := boundGen(g) // one worker state across every chunk
 	for c := 0; c < g.Chunks(); c++ {
-		g.GenerateChunk(c, buf, func(full []stream.Arc) []stream.Arc {
+		gen(c, buf, func(full []stream.Arc) []stream.Arc {
 			out = append(out, full...)
 			return full[:0]
 		})

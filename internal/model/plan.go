@@ -92,8 +92,16 @@ func (pl *Plan) ShardSize(w int) int64 {
 
 // EachShardBatch streams shard w — its chunks replayed in index order —
 // under the stream.ShardGen emit contract. Any worker can regenerate
-// any shard at any time.
+// any shard at any time. Caching generators get one fresh worker state
+// per call; drivers that execute many shards per worker should prefer
+// ShardGenFactory so the state survives across them.
 func (pl *Plan) EachShardBatch(w int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc)) {
+	pl.genShard(boundGen(pl.g), w, buf, emit)
+}
+
+// genShard replays shard w's chunks through gen under the emit
+// contract — the shared body of EachShardBatch and the factory path.
+func (pl *Plan) genShard(gen func(int, []stream.Arc, func([]stream.Arc) []stream.Arc), w int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc)) {
 	r := pl.ranges[w]
 	if cap(buf) == 0 {
 		buf = make([]stream.Arc, 0, stream.DefaultBatchSize)
@@ -110,7 +118,22 @@ func (pl *Plan) EachShardBatch(w int, buf []stream.Arc, emit func(full []stream.
 		return cur
 	}
 	for c := r[0]; c < r[1] && !stopped; c++ {
-		pl.g.GenerateChunk(c, cur, wrap)
+		gen(c, cur, wrap)
+	}
+}
+
+// ShardGenFactory implements stream.FactorySource: every ShardGen it
+// returns carries ONE worker state for its whole lifetime, so when the
+// driver hands a worker goroutine many shards, the generator's cell
+// cache and splitting-tree lookups persist across all of them — the
+// worker-lifetime caching contract. For non-caching generators the
+// factory degenerates to plain GenerateChunk.
+func (pl *Plan) ShardGenFactory() stream.GenFactory {
+	return func() stream.ShardGen {
+		gen := boundGen(pl.g)
+		return func(w int, buf []stream.Arc, emit func(full []stream.Arc) (next []stream.Arc)) {
+			pl.genShard(gen, w, buf, emit)
+		}
 	}
 }
 
@@ -118,7 +141,7 @@ func (pl *Plan) EachShardBatch(w int, buf []stream.Arc, emit func(full []stream.
 // into one sink: shards generate concurrently, the sink observes the
 // canonical stream. Returns the number of arcs consumed.
 func (pl *Plan) StreamTo(sink stream.Sink, opts stream.Options) (int64, error) {
-	return stream.Run(pl.Shards(), pl.EachShardBatch, sink, opts)
+	return stream.RunFactory(pl.Shards(), pl.ShardGenFactory(), sink, opts)
 }
 
 // CSRSource adapts the plan to the two-pass parallel CSR builder: the

@@ -40,18 +40,39 @@ import (
 // The chunk grouping touches no random draw — cells, occupancies and
 // coordinates are fixed by (n, r, dim, seed) alone — so the stream is
 // byte-identical for every chunk AND worker count.
+//
+// Hot-path layout: cell samples are SoA (one array per coordinate),
+// occupancies and prefixes come from a lazily tabulated splitting tree
+// (cellTable), and pair enumeration runs dim-specialized kernels
+// (within2/within3) that collect hit indices into a scratch buffer
+// emitted as runs. All of it is value-identical to the scalar AoS
+// path — identical draws, identical float expressions, identical
+// emission order — so the canonical stream cannot move.
 type RGG struct {
-	n      int64
-	r      float64
-	dim    int
-	seed   uint64
-	grid   int // cells per axis
-	cells  int // grid^dim
-	r2     float64
-	inv    float64 // 1/grid, the cell side
-	tree   splitTree
-	runs   [][2]int // cell range per chunk
-	starts []int64  // vertex-id offset at each chunk boundary (len runs+1)
+	n        int64
+	r        float64
+	dim      int
+	seed     uint64
+	grid     int // cells per axis
+	cells    int // grid^dim
+	r2       float64
+	inv      float64 // 1/grid, the cell side
+	tree     splitTree
+	ctab     cellTable   // lazy full prefix table of tree
+	nbDeltas []gridDelta // forward neighbor offsets, ascending
+	runs     [][2]int    // cell range per chunk
+	starts   []int64     // vertex-id offset at each chunk boundary (len runs+1)
+}
+
+// gridDelta is one candidate forward grid-neighbor: the coordinate
+// deltas (for the bounds check) and the row-major index offset they
+// induce. For in-bounds neighbors idx == cell + off exactly, and
+// distinct in-bounds deltas always produce distinct offsets, so a
+// delta table sorted by off enumerates neighbors in ascending index
+// order with no per-cell sort.
+type gridDelta struct {
+	dx, dy, dz int
+	off        int
 }
 
 // maxRGGVertices bounds n so id and occupancy arithmetic stays well
@@ -66,7 +87,8 @@ const maxRGGCells = 1 << 24
 // maxRGGChunkPoints bounds the *expected* number of points a chunk owns
 // (its own cells plus the regenerated neighbor halo are held in memory
 // while the chunk generates); denser placements are construction errors
-// ("raise chunks") rather than mid-stream memory exhaustion.
+// ("raise chunks") rather than mid-stream memory exhaustion. It doubles
+// as the worker-lifetime cache's resident-point cap.
 const maxRGGChunkPoints = int64(1) << 25
 
 // NewRGG returns the sharded random geometric graph generator for
@@ -115,6 +137,22 @@ func NewRGG(n int64, r float64, dim int, seed uint64, chunks int) (*RGG, error) 
 		// Cells have equal volume, so occupancy weights are cell counts.
 		weight: func(lo, hi int) int64 { return int64(hi - lo) },
 	}
+	zs := []int{0}
+	if dim == 3 {
+		zs = []int{-1, 0, 1}
+	}
+	for _, dz := range zs {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				// Forward neighbors only: off > 0 ⟺ idx > cell for every
+				// in-bounds candidate (idx == cell + off there).
+				if off := (dz*g.grid+dy)*g.grid + dx; off > 0 {
+					g.nbDeltas = append(g.nbDeltas, gridDelta{dx, dy, dz, off})
+				}
+			}
+		}
+	}
+	sort.Slice(g.nbDeltas, func(i, j int) bool { return g.nbDeltas[i].off < g.nbDeltas[j].off })
 	k := normalizeChunks(chunks, int64(g.cells))
 	for _, run := range par.Chunks(int64(g.cells), int64(k)) {
 		g.runs = append(g.runs, [2]int{int(run[0]), int(run[1])})
@@ -248,32 +286,19 @@ func (g *RGG) cellCoords(cell int) [3]int {
 
 // forwardNeighbors returns the grid neighbors of cell with a larger
 // row-major index, ascending — the cells whose points this cell is
-// responsible for pairing with its own.
+// responsible for pairing with its own. The delta table is sorted by
+// offset and in-bounds neighbors satisfy idx == cell + off, so the
+// output is ascending by construction.
 func (g *RGG) forwardNeighbors(cell int) []int {
 	xyz := g.cellCoords(cell)
-	zs := []int{0}
-	if g.dim == 3 {
-		zs = []int{-1, 0, 1}
-	}
 	var out []int
-	for _, dz := range zs {
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				if dx == 0 && dy == 0 && dz == 0 {
-					continue
-				}
-				x, y, z := xyz[0]+dx, xyz[1]+dy, xyz[2]+dz
-				if x < 0 || x >= g.grid || y < 0 || y >= g.grid || z < 0 || z >= g.grid {
-					continue
-				}
-				idx := (z*g.grid+y)*g.grid + x
-				if idx > cell {
-					out = append(out, idx)
-				}
-			}
+	for _, d := range g.nbDeltas {
+		x, y, z := xyz[0]+d.dx, xyz[1]+d.dy, xyz[2]+d.dz
+		if x < 0 || x >= g.grid || y < 0 || y >= g.grid || z < 0 || z >= g.grid {
+			continue
 		}
+		out = append(out, cell+d.off)
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -302,110 +327,218 @@ func (g *RGG) Dependencies(c int) []int64 {
 	return out
 }
 
-// cellSample is one regenerated cell: its vertex-id offset and the
-// flattened coordinates (dim floats per point, placement order).
-type cellSample struct {
-	start  int64
-	coords []float64
-}
-
-// samplePoints regenerates cell c's coordinates — the Sample phase's
-// pure function of (seed, cell): occupancy from the splitting tree,
-// coordinates from the cell's own stream, each scaled into the cell's
-// box. memo caches splitting-tree nodes across a chunk's many descents
-// (nil disables caching); it never changes a value, only avoids
-// re-drawing it.
-func (g *RGG) samplePoints(cell int, memo splitMemo) []float64 {
-	cnt := g.tree.countMemo(cell, memo)
+// samplePoints regenerates cell c's sample — the Sample phase's pure
+// function of (seed, cell): occupancy and id offset from the splitting
+// tree, coordinates from the cell's own stream in SoA layout, each
+// scaled into the cell's box. st routes tree queries through the
+// worker's prefix table or memo (nil falls back to plain descents,
+// for oracles and tests); neither changes a value, only its cost.
+func (g *RGG) samplePoints(cell int, st *spatialState) *cellSample {
+	var cnt, start int64
+	if st != nil {
+		cnt = st.count(&g.tree, cell)
+		start = st.prefix(&g.tree, cell)
+	} else {
+		cnt = g.tree.count(cell)
+		start = g.tree.prefix(cell)
+	}
+	if cnt > math.MaxInt32 {
+		// Unreachable under the construction-time resident bound; guards
+		// the int32 hit indices all the same.
+		panic(fmt.Sprintf("model: rgg cell %d occupancy %d overflows kernel index", cell, cnt))
+	}
+	s := allocSample(st, start, int(cnt), g.dim)
 	if cnt == 0 {
-		return nil
+		return s
 	}
 	xyz := g.cellCoords(cell)
-	s := rng.NewStream2(g.seed, nsRGGCell, uint64(cell))
-	coords := make([]float64, cnt*int64(g.dim))
-	var u [3]float64
-	for i := int64(0); i < cnt; i++ {
-		s.UnitUniform(u[:g.dim])
-		for d := 0; d < g.dim; d++ {
-			coords[i*int64(g.dim)+int64(d)] = (float64(xyz[d]) + u[d]) * g.inv
+	rs := rng.NewStream2(g.seed, nsRGGCell, uint64(cell))
+	// SoA batched fill: per-point draw order x, y(, z) — draw-for-draw
+	// identical to the per-point UnitUniform loop it replaced.
+	if g.dim == 2 {
+		rs.UnitUniform2(s.xs, s.ys)
+	} else {
+		rs.UnitUniform3(s.xs, s.ys, s.zs)
+	}
+	fx := float64(xyz[0])
+	for i, u := range s.xs {
+		s.xs[i] = (fx + u) * g.inv
+	}
+	fy := float64(xyz[1])
+	for i, u := range s.ys {
+		s.ys[i] = (fy + u) * g.inv
+	}
+	if g.dim == 3 {
+		fz := float64(xyz[2])
+		for i, u := range s.zs {
+			s.zs[i] = (fz + u) * g.inv
 		}
 	}
-	return coords
+	return s
 }
 
-// GenerateChunk streams chunk c: for each owned cell in index order,
-// its points are compared against the cell's own later points and
-// every forward neighbor's points (regenerated through the cell cache),
-// emitting (u, v), u < v, for each pair within distance r. Per source
-// vertex the partner segments are visited in ascending id order, so the
-// stream is canonical by construction.
+// getCell reads cell through the worker's cache, regenerating on miss.
+func (g *RGG) getCell(st *spatialState, cell int) *cellSample {
+	if e := st.lookup(cell); e != nil {
+		return e
+	}
+	e := g.samplePoints(cell, st)
+	st.hold(cell, e)
+	return e
+}
+
+// NewWorkerState returns the worker-lifetime cell cache + tree lookup
+// state (ChunkCacher). The cache is a ring of span()+1 slots: every
+// cell read while one own cell is enumerated lies in [cell, cell+span],
+// a window of consecutive indices that map to distinct slots — the ring
+// contract newSpatialState documents.
+func (g *RGG) NewWorkerState() WorkerState {
+	return newSpatialState(&g.tree, &g.ctab, maxRGGChunkPoints, g.span()+1)
+}
+
+// GenerateChunk streams chunk c with single-chunk state — equivalent to
+// GenerateChunkWith under a fresh worker state.
 func (g *RGG) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	g.GenerateChunkWith(g.NewWorkerState(), c, buf, emit)
+}
+
+// GenerateChunkWith streams chunk c: for each owned cell in index
+// order, its points are compared against the cell's own later points
+// and every forward neighbor's points (regenerated through ws's cell
+// cache), emitting (u, v), u < v, for each pair within distance r. Per
+// source vertex the partner segments are visited in ascending id order,
+// so the stream is canonical by construction.
+func (g *RGG) GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	st := ws.(*spatialState)
 	lo, hi := g.runs[c][0], g.runs[c][1]
 	if lo >= hi || g.n == 0 {
 		return
 	}
 	b := newBatcher(buf, emit)
-	dim := int64(g.dim)
-	// cache maps cell -> regenerated sample. Owned cells are dropped
-	// once processed (later cells only look forward); foreign
-	// dependencies stay for the chunk's lifetime — the halo the
-	// per-chunk point cap bounds.
-	cache := map[int]*cellSample{}
-	memo := splitMemo{}
-	get := func(cell int, start int64) *cellSample {
-		if e, ok := cache[cell]; ok {
-			return e
-		}
-		if start < 0 {
-			start = g.tree.prefixMemo(cell, memo)
-		}
-		e := &cellSample{start: start, coords: g.samplePoints(cell, memo)}
-		cache[cell] = e
-		return e
-	}
-	start := g.starts[c]
 	for cell := lo; cell < hi; cell++ {
-		own := get(cell, start)
-		nPts := int64(len(own.coords)) / dim
-		start += nPts
-		if nPts == 0 {
-			delete(cache, cell)
-			continue
-		}
-		var nbs []*cellSample
-		for _, nb := range g.forwardNeighbors(cell) {
-			e := get(nb, -1)
-			if len(e.coords) > 0 {
-				nbs = append(nbs, e)
-			}
-		}
-		for i := int64(0); i < nPts; i++ {
-			p := own.coords[i*dim : i*dim+dim]
-			u := own.start + i
-			for j := i + 1; j < nPts; j++ {
-				if g.within(p, own.coords[j*dim:j*dim+dim]) {
-					if !b.add(u, own.start+j) {
-						return
+		own := g.getCell(st, cell)
+		if own.n > 0 {
+			xyz := g.cellCoords(cell)
+			nbs := st.nbs[:0]
+			// Interior cells (no face contact) pass every per-delta bounds
+			// check by construction, so skip the checks wholesale.
+			interior := xyz[0] >= 1 && xyz[0] < g.grid-1 && xyz[1] >= 1 && xyz[1] < g.grid-1 &&
+				(g.dim == 2 || (xyz[2] >= 1 && xyz[2] < g.grid-1))
+			if interior {
+				for _, d := range g.nbDeltas {
+					if e := g.getCell(st, cell+d.off); e.n > 0 {
+						nbs = append(nbs, e)
+					}
+				}
+			} else {
+				for _, d := range g.nbDeltas {
+					x, y, z := xyz[0]+d.dx, xyz[1]+d.dy, xyz[2]+d.dz
+					if x < 0 || x >= g.grid || y < 0 || y >= g.grid || z < 0 || z >= g.grid {
+						continue
+					}
+					if e := g.getCell(st, cell+d.off); e.n > 0 {
+						nbs = append(nbs, e)
 					}
 				}
 			}
-			for _, nb := range nbs {
-				m := int64(len(nb.coords)) / dim
-				for j := int64(0); j < m; j++ {
-					if g.within(p, nb.coords[j*dim:j*dim+dim]) {
-						if !b.add(u, nb.start+j) {
-							return
-						}
-					}
-				}
+			st.nbs = nbs
+			ok := false
+			if g.dim == 2 {
+				ok = g.pairsCell2(b, st, own)
+			} else {
+				ok = g.pairsCell3(b, st, own)
+			}
+			if !ok {
+				return
 			}
 		}
-		delete(cache, cell)
+		st.dropOwn(cell)
 	}
 	b.flush()
 }
 
-// within reports whether two points lie at Euclidean distance <= r.
+// pairsCell2 emits every within-r pair of own against itself and the
+// staged neighbor cells (2D kernel). One kernel call per (point, cell)
+// segment beats flattening the halo here: at the sub-unit occupancies
+// the rgg grids aim for, copying each point into a contiguous halo
+// costs more than the per-segment call overhead it would save.
+func (g *RGG) pairsCell2(b *batcher, st *spatialState, own *cellSample) bool {
+	for i := 0; i < own.n; i++ {
+		px, py := own.xs[i], own.ys[i]
+		u := own.start + int64(i)
+		st.hits = within2(px, py, g.r2, own.xs[i+1:], own.ys[i+1:], st.hits[:0])
+		if !b.addRun(u, u+1, st.hits) {
+			return false
+		}
+		for _, nb := range st.nbs {
+			st.hits = within2(px, py, g.r2, nb.xs, nb.ys, st.hits[:0])
+			if !b.addRun(u, nb.start, st.hits) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pairsCell3 is pairsCell2 with the 3D kernel.
+func (g *RGG) pairsCell3(b *batcher, st *spatialState, own *cellSample) bool {
+	for i := 0; i < own.n; i++ {
+		px, py, pz := own.xs[i], own.ys[i], own.zs[i]
+		u := own.start + int64(i)
+		st.hits = within3(px, py, pz, g.r2, own.xs[i+1:], own.ys[i+1:], own.zs[i+1:], st.hits[:0])
+		if !b.addRun(u, u+1, st.hits) {
+			return false
+		}
+		for _, nb := range st.nbs {
+			st.hits = within3(px, py, pz, g.r2, nb.xs, nb.ys, nb.zs, st.hits[:0])
+			if !b.addRun(u, nb.start, st.hits) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// within2 appends to hits the ascending indices j of the SoA segment
+// with (x−xs[j])² + (y−ys[j])² <= r2. The accumulation shape matches
+// the scalar within loop statement for statement (d2 = dx·dx, then
+// d2 += dy·dy), so any platform's rounding/fusion decisions are the
+// same and the predicate cannot move a bit.
+func within2(x, y, r2 float64, xs, ys []float64, hits []int32) []int32 {
+	ys = ys[:len(xs)]
+	for j := range xs {
+		dx := x - xs[j]
+		dy := y - ys[j]
+		d2 := dx * dx
+		d2 += dy * dy
+		if d2 <= r2 {
+			hits = append(hits, int32(j))
+		}
+	}
+	return hits
+}
+
+// within3 is within2 for three coordinates.
+func within3(x, y, z, r2 float64, xs, ys, zs []float64, hits []int32) []int32 {
+	ys = ys[:len(xs)]
+	zs = zs[:len(xs)]
+	for j := range xs {
+		dx := x - xs[j]
+		dy := y - ys[j]
+		dz := z - zs[j]
+		d2 := dx * dx
+		d2 += dy * dy
+		d2 += dz * dz
+		if d2 <= r2 {
+			hits = append(hits, int32(j))
+		}
+	}
+	return hits
+}
+
+// within reports whether two AoS points lie at Euclidean distance <= r —
+// the scalar reference predicate the SoA kernels mirror, kept for the
+// brute-force oracles.
 func (g *RGG) within(p, q []float64) bool {
 	var d2 float64
 	for d := 0; d < g.dim; d++ {

@@ -13,7 +13,13 @@ import (
 func bruteForceRGG(g *RGG) []stream.Arc {
 	var pts []float64
 	for c := 0; c < g.CellCount(); c++ {
-		pts = append(pts, g.samplePoints(c, nil)...)
+		s := g.samplePoints(c, nil)
+		for i := 0; i < s.n; i++ {
+			pts = append(pts, s.xs[i], s.ys[i])
+			if g.dim == 3 {
+				pts = append(pts, s.zs[i])
+			}
+		}
 	}
 	dim := int64(g.dim)
 	n := int64(len(pts)) / dim

@@ -65,8 +65,9 @@ type RHG struct {
 	totW   int64     // cellWeight(0, cells)
 	maxAng []float64 // B×B angular reach bound, row-major by band pair
 	tree   splitTree
-	runs   [][2]int // cell range per chunk
-	starts []int64  // vertex-id offset at each chunk boundary (len runs+1)
+	ctab   cellTable // lazy full prefix table of tree
+	runs   [][2]int  // cell range per chunk
+	starts []int64   // vertex-id offset at each chunk boundary (len runs+1)
 }
 
 // rhgBand is one annulus [rLo, rHi) cut into `cells` equal angular
@@ -370,14 +371,23 @@ func (g *RHG) ChunkArcs(c int) int64 { return -1 }
 // one cell per side for floating-point safety; the exact distance
 // predicate decides every pair, so over-wide windows cost comparisons,
 // not correctness.
-func (g *RHG) forwardPartners(c int) []int {
+func (g *RHG) forwardPartners(c int) []int { return g.appendForwardPartners(c, nil) }
+
+// appendForwardPartners is forwardPartners appending into a caller
+// scratch slice. A band's wrapped window {j mod cells : jLo <= j <= jHi}
+// covers fewer than cells indices (the full-range branch catches the
+// rest), so it is one contiguous index range — or two when it straddles
+// the wrap, in which case the low range is appended before the high
+// one. Bands are visited in ascending cellStart order, so the output is
+// ascending with no per-cell sort, index for index what the sorted
+// enumeration produced.
+func (g *RHG) appendForwardPartners(c int, out []int) []int {
 	b1 := g.cellBand(c)
 	own := &g.bands[b1]
 	j1 := c - own.cellStart
 	th0 := float64(j1) * own.width
 	th1 := th0 + own.width
 	nb := len(g.bands)
-	var out []int
 	for b2 := b1; b2 < nb; b2++ {
 		bd := &g.bands[b2]
 		ang := g.maxAng[b1*nb+b2]
@@ -393,14 +403,75 @@ func (g *RHG) forwardPartners(c int) []int {
 			}
 			continue
 		}
-		for j := jLo; j <= jHi; j++ {
-			jj := ((j % bd.cells) + bd.cells) % bd.cells
-			if idx := bd.cellStart + jj; idx > c {
+		a := ((jLo % bd.cells) + bd.cells) % bd.cells
+		z := ((jHi % bd.cells) + bd.cells) % bd.cells
+		if a <= z {
+			for j := a; j <= z; j++ {
+				if idx := bd.cellStart + j; idx > c {
+					out = append(out, idx)
+				}
+			}
+			continue
+		}
+		for j := 0; j <= z; j++ {
+			if idx := bd.cellStart + j; idx > c {
+				out = append(out, idx)
+			}
+		}
+		for j := a; j < bd.cells; j++ {
+			if idx := bd.cellStart + j; idx > c {
 				out = append(out, idx)
 			}
 		}
 	}
-	sort.Ints(out)
+	return out
+}
+
+// rhgRun is one contiguous forward-partner cell range [lo, hi) inside
+// band `band` — the range form of appendForwardPartners' output.
+type rhgRun struct {
+	band   int
+	lo, hi int
+}
+
+// appendForwardRuns is appendForwardPartners emitting maximal
+// contiguous cell ranges instead of individual indices: flattening each
+// run in order yields index for index the same cell sequence. O(bands)
+// per call instead of O(window cells).
+func (g *RHG) appendForwardRuns(c int, out []rhgRun) []rhgRun {
+	b1 := g.cellBand(c)
+	own := &g.bands[b1]
+	j1 := c - own.cellStart
+	th0 := float64(j1) * own.width
+	th1 := th0 + own.width
+	nb := len(g.bands)
+	push := func(band, lo, hi int) {
+		if lo <= c {
+			lo = c + 1
+		}
+		if hi > lo {
+			out = append(out, rhgRun{band: band, lo: lo, hi: hi})
+		}
+	}
+	for b2 := b1; b2 < nb; b2++ {
+		bd := &g.bands[b2]
+		ang := g.maxAng[b1*nb+b2]
+		jLo := int(math.Floor((th0-ang)/bd.width)) - 1
+		jHi := int(math.Floor((th1+ang)/bd.width)) + 1
+		end := bd.cellStart + bd.cells
+		if jHi-jLo+1 >= bd.cells {
+			push(b2, bd.cellStart, end)
+			continue
+		}
+		a := ((jLo % bd.cells) + bd.cells) % bd.cells
+		z := ((jHi % bd.cells) + bd.cells) % bd.cells
+		if a <= z {
+			push(b2, bd.cellStart+a, bd.cellStart+z+1)
+			continue
+		}
+		push(b2, bd.cellStart, bd.cellStart+z+1)
+		push(b2, bd.cellStart+a, end)
+	}
 	return out
 }
 
@@ -425,115 +496,307 @@ func (g *RHG) Dependencies(c int) []int64 {
 }
 
 // samplePoints regenerates cell c's points — the Sample phase's pure
-// function of (seed, cell): occupancy from the splitting tree, then per
-// point one uniform for the angle within the cell's window and one
-// inverse-CDF draw for the radius within the band. Points are stored
-// pre-transformed as (cosθ, sinθ, cosh r, sinh r) so the pairwise
-// predicate needs no trigonometry. memo caches splitting-tree nodes
-// across a chunk's many descents (nil disables caching).
-func (g *RHG) samplePoints(cell int, memo splitMemo) []float64 {
-	cnt := g.tree.countMemo(cell, memo)
-	if cnt == 0 {
-		return nil
+// function of (seed, cell): occupancy and id offset from the splitting
+// tree, then per point one uniform for the angle within the cell's
+// window and one inverse-CDF draw for the radius within the band, both
+// served from one batched raw-uniform fill (u[2i] angle, u[2i+1]
+// radius — the exact draw order of the per-point loop it replaced).
+// Points are stored pre-transformed as SoA columns (cosθ, sinθ,
+// cosh r, sinh r) so the pairwise predicate needs no trigonometry. st
+// routes tree queries and the uniform scratch through the worker state
+// (nil falls back to plain descents and a local buffer, for oracles
+// and tests); neither changes a value, only its cost.
+func (g *RHG) samplePoints(cell int, st *spatialState) *cellSample {
+	var cnt, start int64
+	if st != nil {
+		cnt = st.count(&g.tree, cell)
+		start = st.prefix(&g.tree, cell)
+	} else {
+		cnt = g.tree.count(cell)
+		start = g.tree.prefix(cell)
 	}
+	if cnt > math.MaxInt32 {
+		// Unreachable under the resident cap; guards the int32 hit indices.
+		panic(fmt.Sprintf("model: rhg cell %d occupancy %d overflows kernel index", cell, cnt))
+	}
+	s := allocSample(st, start, int(cnt), 4)
+	if cnt == 0 {
+		return s
+	}
+	g.samplePointsInto(cell, st, s.xs, s.ys, s.zs, s.ws)
+	return s
+}
+
+// samplePointsInto writes cell's pre-transformed points into the given
+// column slices (each len == the cell's occupancy). It is the draw core
+// of samplePoints — the destination never influences a value — shared
+// by the cellSample path and the panel strips.
+func (g *RHG) samplePointsInto(cell int, st *spatialState, xs, ys, zs, ws []float64) {
+	cnt := len(xs)
 	b := g.cellBand(cell)
 	bd := &g.bands[b]
 	th0 := float64(cell-bd.cellStart) * bd.width
 	invAlpha := 1 / g.alpha
-	s := rng.NewStream2(g.seed, nsRHGCell, uint64(cell))
-	coords := make([]float64, cnt*4)
-	for i := int64(0); i < cnt; i++ {
-		theta := th0 + s.Float64()*bd.width
-		r := s.HyperbolicRadius(invAlpha, bd.coshALo, bd.spanA)
-		sinT, cosT := math.Sincos(theta)
-		coords[i*4] = cosT
-		coords[i*4+1] = sinT
-		coords[i*4+2] = math.Cosh(r)
-		coords[i*4+3] = math.Sinh(r)
+	rs := rng.NewStream2(g.seed, nsRHGCell, uint64(cell))
+	need := 2 * cnt
+	var u []float64
+	if st != nil {
+		if cap(st.unif) < need {
+			st.unif = make([]float64, need)
+		}
+		u = st.unif[:need]
+	} else {
+		u = make([]float64, need)
 	}
-	return coords
+	rs.UnitUniform(u)
+	for i := 0; i < cnt; i++ {
+		theta := th0 + u[2*i]*bd.width
+		// Inlined rng.HyperbolicRadius on the buffered draw — the
+		// identical float expression.
+		r := math.Acosh(bd.coshALo+u[2*i+1]*bd.spanA) * invAlpha
+		sinT, cosT := math.Sincos(theta)
+		xs[i] = cosT
+		ys[i] = sinT
+		zs[i] = math.Cosh(r)
+		ws[i] = math.Sinh(r)
+	}
 }
 
-// within reports whether two pre-transformed points lie at hyperbolic
-// distance <= R: cosh d = cosh r1·cosh r2 − sinh r1·sinh r2·cos Δθ,
-// with cos Δθ expanded through the stored (cosθ, sinθ).
+// within reports whether two pre-transformed AoS points lie at
+// hyperbolic distance <= R: cosh d = cosh r1·cosh r2 − sinh r1·sinh
+// r2·cos Δθ, with cos Δθ expanded through the stored (cosθ, sinθ) —
+// the scalar reference predicate rhgHits mirrors, kept for the
+// brute-force oracles.
 func (g *RHG) within(p, q []float64) bool {
 	return p[2]*q[2]-p[3]*q[3]*(p[0]*q[0]+p[1]*q[1]) <= g.coshR
 }
 
-// GenerateChunk streams chunk c: for each owned cell in index order,
-// its points are compared against the cell's own later points and
-// every forward partner cell's points (regenerated through the cell
-// cache), emitting (u, v), u < v, for each pair within hyperbolic
-// distance R. Partner segments are visited in ascending cell order, so
-// the stream is canonical by construction.
+// rhgHits appends to hits the ascending indices j of the SoA segment
+// within hyperbolic distance R of the point (c0, s0, ch, sh). The
+// predicate is the same expression tree as within, so any platform's
+// rounding/fusion decisions are identical and the emitted bits cannot
+// move.
+func rhgHits(c0, s0, ch, sh, coshR float64, xs, ys, zs, ws []float64, hits []int32) []int32 {
+	ys = ys[:len(xs)]
+	zs = zs[:len(xs)]
+	ws = ws[:len(xs)]
+	for j := range xs {
+		if ch*zs[j]-sh*ws[j]*(c0*xs[j]+s0*ys[j]) <= coshR {
+			hits = append(hits, int32(j))
+		}
+	}
+	return hits
+}
+
+// getCell reads cell through the worker's cache, regenerating on miss.
+func (g *RHG) getCell(st *spatialState, cell int) *cellSample {
+	if e := st.lookup(cell); e != nil {
+		return e
+	}
+	e := g.samplePoints(cell, st)
+	st.hold(cell, e)
+	return e
+}
+
+// maxRHGRingCells gates the direct-indexed ring cache: one slot per
+// cell (8 bytes each, ≤ 8 MiB per worker at the gate). A cell's forward
+// partners can sit anywhere ahead of it — inner bands are everyone's
+// dependency — so the ring must cover the whole cell space; larger cell
+// spaces fall back to the map cache.
+const maxRHGRingCells = 1 << 20
+
+// rhgPanelMaxPoints gates the band-panel worker state: every point of
+// the graph is materialized at most once across the panels, so the
+// whole-graph point count must fit under the resident cap. A var so
+// tests can force the fallback path.
+var rhgPanelMaxPoints = maxRHGResidentPoints
+
+// rhgState is the strip-mode WorkerState: the whole cell space
+// flattened in cell order into one worker-lifetime SoA strip, filled
+// lazily cell by cell. Vertex ids are cell-major over the whole graph,
+// so the point at strip offset p has global id exactly p — a forward
+// window of cells (empty ones included) is a contiguous strip range
+// whose kernel hit indices feed addRun directly, with no per-cell
+// staging, copying, or id column. Every strip value is the same pure
+// (seed, cell) draw the cellSample path makes. Each point is
+// materialized at most once, so residency is bounded by the graph
+// size, which the strip gate keeps under the eviction cap — no
+// eviction is ever needed.
+type rhgState struct {
+	st             *spatialState
+	xs, ys, zs, ws []float64
+	filled         []bool // per cell
+	runs           []rhgRun
+	prs            [][2]int // forward point ranges of the current own cell
+	pts            int64
+}
+
+// ResidentPoints reports the points materialized in the strip.
+func (ps *rhgState) ResidentPoints() int64 { return ps.pts }
+
+// ensure fills cell's strip range [tab[cell], tab[cell+1]) if it is not
+// resident yet.
+func (ps *rhgState) ensure(g *RHG, cell int) {
+	if ps.filled[cell] {
+		return
+	}
+	ps.filled[cell] = true
+	tab := ps.st.tab
+	lo, hi := int(tab[cell]), int(tab[cell+1])
+	if hi > lo {
+		g.samplePointsInto(cell, ps.st, ps.xs[lo:hi], ps.ys[lo:hi], ps.zs[lo:hi], ps.ws[lo:hi])
+		ps.pts += int64(hi - lo)
+	}
+}
+
+// NewWorkerState returns the worker-lifetime state (ChunkCacher): the
+// flattened sample strip when the full prefix table exists and the
+// whole graph fits under the resident cap, else the generic bounded
+// cell cache (ring when the cell space is small enough to direct-index,
+// map beyond).
+func (g *RHG) NewWorkerState() WorkerState {
+	if tab := g.ctab.get(&g.tree); tab != nil && g.n <= rhgPanelMaxPoints {
+		n := int(g.n)
+		return &rhgState{
+			st:     newSpatialState(&g.tree, &g.ctab, maxRHGResidentPoints, 0),
+			xs:     make([]float64, n),
+			ys:     make([]float64, n),
+			zs:     make([]float64, n),
+			ws:     make([]float64, n),
+			filled: make([]bool, g.cells),
+		}
+	}
+	window := g.cells
+	if window > maxRHGRingCells {
+		window = 0 // map fallback
+	}
+	return newSpatialState(&g.tree, &g.ctab, maxRHGResidentPoints, window)
+}
+
+// GenerateChunk streams chunk c with single-chunk state — equivalent to
+// GenerateChunkWith under a fresh worker state.
 func (g *RHG) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	g.GenerateChunkWith(g.NewWorkerState(), c, buf, emit)
+}
+
+// GenerateChunkWith streams chunk c: for each owned cell in index
+// order, its points are compared against the cell's own later points
+// and every forward partner cell's points (regenerated through ws's
+// cell cache), emitting (u, v), u < v, for each pair within hyperbolic
+// distance R. Partner segments are visited in ascending cell order, so
+// the stream is canonical by construction. Owned cells are dropped once
+// processed (later cells only look forward); the foreign halo stays
+// until it crosses the resident cap, then is dropped wholesale —
+// regeneration is pure, so eviction never changes a byte.
+func (g *RHG) GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	if ps, ok := ws.(*rhgState); ok {
+		g.generatePanels(ps, c, buf, emit)
+		return
+	}
+	st := ws.(*spatialState)
 	lo, hi := g.runs[c][0], g.runs[c][1]
 	if lo >= hi || g.n == 0 {
 		return
 	}
 	b := newBatcher(buf, emit)
-	// cache maps cell -> regenerated sample. Owned cells are dropped once
-	// processed (later cells only look forward); the foreign halo stays
-	// until it crosses the resident cap, then is dropped wholesale —
-	// regeneration is pure, so eviction never changes a byte.
-	cache := map[int]*cellSample{}
-	var cachePts int64
-	memo := splitMemo{}
-	get := func(cell int, start int64) *cellSample {
-		if e, ok := cache[cell]; ok {
-			return e
-		}
-		if start < 0 {
-			start = g.tree.prefixMemo(cell, memo)
-		}
-		e := &cellSample{start: start, coords: g.samplePoints(cell, memo)}
-		cache[cell] = e
-		cachePts += int64(len(e.coords)) / 4
-		return e
-	}
-	start := g.starts[c]
 	for cell := lo; cell < hi; cell++ {
-		own := get(cell, start)
-		nPts := int64(len(own.coords)) / 4
-		start += nPts
-		if nPts == 0 {
-			delete(cache, cell)
+		own := g.getCell(st, cell)
+		if own.n > 0 {
+			st.cand = g.appendForwardPartners(cell, st.cand[:0])
+			st.resetFlat()
+			st.appendFlat(own, 4)
+			for _, nb := range st.cand {
+				if e := g.getCell(st, nb); e.n > 0 {
+					st.appendFlat(e, 4)
+				}
+			}
+			if !g.pairsCell(b, st, own) {
+				return
+			}
+		}
+		st.dropOwn(cell)
+	}
+	b.flush()
+}
+
+// pairsCell emits every within-R pair of own point i against the
+// flattened halo tail flat[i+1:] — the own cell's later points followed
+// by every staged partner cell's, in ascending id order. One kernel
+// call per own point covers what used to be one call per partner cell;
+// the flattened values and scan order are bit-identical to the per-cell
+// walk, so the emitted arcs are too.
+func (g *RHG) pairsCell(b *batcher, st *spatialState, own *cellSample) bool {
+	for i := 0; i < own.n; i++ {
+		st.hits = rhgHits(own.xs[i], own.ys[i], own.zs[i], own.ws[i], g.coshR,
+			st.fxs[i+1:], st.fys[i+1:], st.fzs[i+1:], st.fws[i+1:], st.hits[:0])
+		if !b.addIdx(own.start+int64(i), st.fvids[i+1:], st.hits) {
+			return false
+		}
+	}
+	return true
+}
+
+// generatePanels is GenerateChunkWith over the strip state: per owned
+// cell it materializes the forward windows as contiguous strip point
+// ranges (ids are cell-major, so a range of cells — empty ones included
+// — is a range of consecutive ids), coalesces point-adjacent ranges
+// (scanning across an empty gap cell adds zero points), folds the own
+// tail into the first range when they touch (the common non-wrapped
+// same-band window), and runs one kernel call per range per own point,
+// emitting through addRun exactly as the per-cell walk does. Same
+// cells, same draw values, same scan order ⇒ the same bytes; only the
+// staging cost is gone.
+func (g *RHG) generatePanels(ps *rhgState, c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	st := ps.st
+	lo, hi := g.runs[c][0], g.runs[c][1]
+	if lo >= hi || g.n == 0 {
+		return
+	}
+	b := newBatcher(buf, emit)
+	tab := st.tab
+	for cell := lo; cell < hi; cell++ {
+		ownLo, ownHi := int(tab[cell]), int(tab[cell+1])
+		if ownHi == ownLo {
 			continue
 		}
-		var nbs []*cellSample
-		for _, nb := range g.forwardPartners(cell) {
-			e := get(nb, -1)
-			if len(e.coords) > 0 {
-				nbs = append(nbs, e)
+		ps.ensure(g, cell)
+		ps.runs = g.appendForwardRuns(cell, ps.runs[:0])
+		prs := ps.prs[:0]
+		for _, r := range ps.runs {
+			pLo, pHi := int(tab[r.lo]), int(tab[r.hi])
+			if pHi == pLo {
+				continue
+			}
+			if k := len(prs); k > 0 && prs[k-1][1] == pLo {
+				prs[k-1][1] = pHi
+			} else {
+				prs = append(prs, [2]int{pLo, pHi})
+			}
+			for cc := r.lo; cc < r.hi; cc++ {
+				ps.ensure(g, cc)
 			}
 		}
-		for i := int64(0); i < nPts; i++ {
-			p := own.coords[i*4 : i*4+4]
-			u := own.start + i
-			for j := i + 1; j < nPts; j++ {
-				if g.within(p, own.coords[j*4:j*4+4]) {
-					if !b.add(u, own.start+j) {
-						return
-					}
-				}
-			}
-			for _, nb := range nbs {
-				m := int64(len(nb.coords)) / 4
-				for j := int64(0); j < m; j++ {
-					if g.within(p, nb.coords[j*4:j*4+4]) {
-						if !b.add(u, nb.start+j) {
-							return
-						}
-					}
-				}
-			}
+		ps.prs = prs
+		head := ownHi
+		if len(prs) > 0 && prs[0][0] == ownHi {
+			head = prs[0][1]
+			prs = prs[1:]
 		}
-		delete(cache, cell)
-		cachePts -= nPts
-		if cachePts > maxRHGResidentPoints {
-			cache = map[int]*cellSample{}
-			cachePts = 0
+		for pi := ownLo; pi < ownHi; pi++ {
+			c0, s0, ch, sh := ps.xs[pi], ps.ys[pi], ps.zs[pi], ps.ws[pi]
+			u := int64(pi)
+			st.hits = rhgHits(c0, s0, ch, sh, g.coshR,
+				ps.xs[pi+1:head], ps.ys[pi+1:head], ps.zs[pi+1:head], ps.ws[pi+1:head], st.hits[:0])
+			if !b.addRun(u, u+1, st.hits) {
+				return
+			}
+			for _, pr := range prs {
+				st.hits = rhgHits(c0, s0, ch, sh, g.coshR,
+					ps.xs[pr[0]:pr[1]], ps.ys[pr[0]:pr[1]], ps.zs[pr[0]:pr[1]], ps.ws[pr[0]:pr[1]], st.hits[:0])
+				if !b.addRun(u, int64(pr[0]), st.hits) {
+					return
+				}
+			}
 		}
 	}
 	b.flush()

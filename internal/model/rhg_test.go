@@ -14,7 +14,10 @@ import (
 func bruteForceRHG(g *RHG) []stream.Arc {
 	var pts []float64
 	for c := 0; c < g.CellCount(); c++ {
-		pts = append(pts, g.samplePoints(c, nil)...)
+		s := g.samplePoints(c, nil)
+		for i := 0; i < s.n; i++ {
+			pts = append(pts, s.xs[i], s.ys[i], s.zs[i], s.ws[i])
+		}
 	}
 	n := int64(len(pts)) / 4
 	var out []stream.Arc

@@ -90,6 +90,40 @@ func (t *splitTree) countMemo(c int, memo splitMemo) int64 {
 // it passes: O(log slots) draws, identical across callers.
 func (t *splitTree) prefix(c int) int64 { return t.prefixMemo(c, nil) }
 
+// expandPrefix materializes the whole tree in one depth-first pass and
+// returns the prefix-sum table P of length slots+1: P[c] is the item
+// count of slots [0, c), so slot c holds P[c+1]-P[c] items. Each tree
+// node's left share is a pure function of the node id alone, so drawing
+// every node exactly once yields the same values as any sequence of
+// count/prefix descents — only the evaluation order differs — at O(1)
+// amortized draws per slot instead of O(log slots) per query, with no
+// memo map in the hot path. Callers gate on slots (8 bytes per slot).
+func (t *splitTree) expandPrefix() []int64 {
+	p := make([]int64, t.slots+1)
+	if t.slots == 0 {
+		return p
+	}
+	var rec func(lo, hi int, m int64)
+	rec = func(lo, hi int, m int64) {
+		if hi-lo == 1 {
+			p[lo] = m
+			return
+		}
+		mid := (lo + hi) / 2
+		mLeft := t.leftShare(lo, mid, hi, m, nil)
+		rec(lo, mid, mLeft)
+		rec(mid, hi, m-mLeft)
+	}
+	rec(0, t.slots, t.total)
+	// In place: per-slot counts become the running prefix.
+	var acc int64
+	for c := 0; c < t.slots; c++ {
+		acc, p[c] = acc+p[c], acc
+	}
+	p[t.slots] = acc
+	return p
+}
+
 func (t *splitTree) prefixMemo(c int, memo splitMemo) int64 {
 	if c <= 0 || t.slots == 0 {
 		return 0

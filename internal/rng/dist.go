@@ -177,6 +177,80 @@ func (g *Xoshiro256) UnitUniform(dst []float64) {
 	g.s[0], g.s[1], g.s[2], g.s[3] = s0, s1, s2, s3
 }
 
+// UnitUniform2 fills x and y with n = len(x) uniform [0, 1) points in
+// structure-of-arrays layout, drawing in per-point order x[i], y[i] —
+// draw-for-draw identical to n two-slot UnitUniform calls on an AoS
+// buffer, so a generator switching between the layouts cannot move a
+// bit. len(y) must be at least len(x). State stays in registers for the
+// whole fill.
+func (g *Xoshiro256) UnitUniform2(x, y []float64) {
+	y = y[:len(x)]
+	s0, s1, s2, s3 := g.s[0], g.s[1], g.s[2], g.s[3]
+	for i := range x {
+		r := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		x[i] = float64(r>>11) / (1 << 53)
+
+		r = bits.RotateLeft64(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		y[i] = float64(r>>11) / (1 << 53)
+	}
+	g.s[0], g.s[1], g.s[2], g.s[3] = s0, s1, s2, s3
+}
+
+// UnitUniform3 is UnitUniform2 for three coordinate arrays: per-point
+// draw order x[i], y[i], z[i], identical to three-slot UnitUniform
+// calls per point. len(y) and len(z) must be at least len(x).
+func (g *Xoshiro256) UnitUniform3(x, y, z []float64) {
+	y = y[:len(x)]
+	z = z[:len(x)]
+	s0, s1, s2, s3 := g.s[0], g.s[1], g.s[2], g.s[3]
+	for i := range x {
+		r := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		x[i] = float64(r>>11) / (1 << 53)
+
+		r = bits.RotateLeft64(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		y[i] = float64(r>>11) / (1 << 53)
+
+		r = bits.RotateLeft64(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		z[i] = float64(r>>11) / (1 << 53)
+	}
+	g.s[0], g.s[1], g.s[2], g.s[3] = s0, s1, s2, s3
+}
+
 // HyperbolicRadius returns one sample of the radial law of random
 // hyperbolic graphs truncated to a band [rLo, rHi): density ∝ sinh(α·r),
 // sampled by CDF inversion — with U uniform in [0, 1),

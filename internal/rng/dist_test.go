@@ -209,6 +209,42 @@ func TestUnitUniform(t *testing.T) {
 	}
 }
 
+// TestUnitUniformSoAMatchesScalar pins the draw layout of the
+// structure-of-arrays fills: UnitUniform2/3 must produce exactly the
+// per-point x, y(, z) order of repeated small UnitUniform calls, so the
+// spatial generators' switch from AoS to SoA buffers cannot move a
+// sampled bit.
+func TestUnitUniformSoAMatchesScalar(t *testing.T) {
+	const n = 513 // odd, > any unrolling the fill could use
+	for _, dim := range []int{2, 3} {
+		a, b := New(77), New(77)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		if dim == 2 {
+			a.UnitUniform2(x, y)
+		} else {
+			a.UnitUniform3(x, y, z)
+		}
+		pt := make([]float64, dim)
+		for i := 0; i < n; i++ {
+			b.UnitUniform(pt)
+			if x[i] != pt[0] || y[i] != pt[1] {
+				t.Fatalf("dim=%d point %d: SoA (%v, %v) != scalar (%v, %v)",
+					dim, i, x[i], y[i], pt[0], pt[1])
+			}
+			if dim == 3 && z[i] != pt[2] {
+				t.Fatalf("dim=3 point %d: z %v != scalar %v", i, z[i], pt[2])
+			}
+		}
+		// Final generator state must agree too: downstream draws after a
+		// fill must be unaffected by the layout.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("dim=%d: generator state diverged after fill", dim)
+		}
+	}
+}
+
 // TestHyperbolicRadius checks the truncated sinh(α·r) sampler: every
 // sample stays in its band [rLo, rHi), the empirical CDF matches the
 // analytic (cosh(α·r)−cosh(α·rLo))/span law at interior quantiles, and

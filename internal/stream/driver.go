@@ -31,6 +31,23 @@ func Run(shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
 // consistent state; the arc count reflects only the batches delivered
 // before cancellation.
 func RunContext(ctx context.Context, shards int, gen ShardGen, sink Sink, opts Options) (int64, error) {
+	return RunFactoryContext(ctx, shards, func() ShardGen { return gen }, sink, opts)
+}
+
+// RunFactory drives a factory-backed sharded generator into a single
+// sink with a background context. See RunFactoryContext.
+func RunFactory(shards int, newGen GenFactory, sink Sink, opts Options) (int64, error) {
+	return RunFactoryContext(context.Background(), shards, newGen, sink, opts)
+}
+
+// RunFactoryContext is RunContext with per-worker generator state: each
+// worker goroutine calls newGen once and executes every shard it claims
+// through that one ShardGen, so factory-bound state (cell caches, memo
+// tables) persists across a worker's shards. The serial path calls
+// newGen once for the whole stream. Delivery order, cancellation, and
+// error semantics are exactly RunContext's — worker state may only
+// change the cost of generation, never its bytes.
+func RunFactoryContext(ctx context.Context, shards int, newGen GenFactory, sink Sink, opts Options) (int64, error) {
 	o := opts.withDefaults()
 	if o.Workers <= 0 {
 		o.Workers = par.MaxWorkers()
@@ -43,7 +60,7 @@ func RunContext(ctx context.Context, shards int, gen ShardGen, sink Sink, opts O
 		return 0, err
 	}
 	if o.Workers == 1 || shards == 1 {
-		return runSerial(ctx, shards, gen, sink, o)
+		return runSerial(ctx, shards, newGen(), sink, o)
 	}
 
 	chans := make([]chan []Arc, shards)
@@ -85,6 +102,7 @@ func RunContext(ctx context.Context, shards int, gen ShardGen, sink Sink, opts O
 	for t := 0; t < workers; t++ {
 		go func() {
 			defer wg.Done()
+			gen := newGen() // worker-lifetime state lives in this closure
 			for {
 				select {
 				case <-stop:

@@ -79,6 +79,27 @@ type Source interface {
 // stop generation early.
 type ShardGen func(w int, buf []Arc, emit func(full []Arc) (next []Arc))
 
+// GenFactory produces ShardGens bound to per-worker state. The driver
+// calls it once per worker goroutine; the returned ShardGen then
+// executes every shard that worker claims, so state it closes over —
+// dependency-cell caches, memo tables, kernel scratch — lives for the
+// worker's lifetime instead of being rebuilt per shard. The factory
+// must be safe for concurrent calls; each returned ShardGen is used by
+// one goroutine at a time. Worker state may only change the cost of
+// generation, never its bytes: the canonical stream stays identical
+// whether a driver uses the factory or a single shared ShardGen.
+type GenFactory func() ShardGen
+
+// FactorySource is the optional Source extension for generators with
+// reusable worker-lifetime state: drivers that see it call
+// ShardGenFactory once per worker instead of sharing one stateless
+// ShardGen across all of them.
+type FactorySource interface {
+	Source
+	// ShardGenFactory returns the source's per-worker generator factory.
+	ShardGenFactory() GenFactory
+}
+
 // Options configures the parallel driver.
 type Options struct {
 	// Workers bounds the number of concurrently generating shards.

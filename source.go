@@ -120,7 +120,19 @@ func WithManifestExtra(extra map[string]string) Option {
 // once so partial output is consistently finalized.
 func Stream(ctx context.Context, src Source, sink ArcSink, opts ...Option) (int64, error) {
 	c := buildConfig(opts)
-	return stream.RunContext(ctx, src.Shards(), src.EachShardBatch, sink, c.stream)
+	return stream.RunFactoryContext(ctx, src.Shards(), genFactoryOf(src), sink, c.stream)
+}
+
+// genFactoryOf returns src's per-worker generator factory when it
+// offers one (spatial models reuse dependency-cell caches across the
+// shards one worker executes) and a trivial shared-ShardGen factory
+// otherwise. Worker state never changes the stream's bytes, only the
+// cost of producing them.
+func genFactoryOf(src Source) stream.GenFactory {
+	if fs, ok := src.(stream.FactorySource); ok {
+		return fs.ShardGenFactory()
+	}
+	return func() stream.ShardGen { return src.EachShardBatch }
 }
 
 // ToCSR materializes src's graph as CSR adjacency. By default it runs
@@ -134,7 +146,7 @@ func ToCSR(ctx context.Context, src Source, opts ...Option) (*CSRGraph, error) {
 	c := buildConfig(opts)
 	if c.onePass {
 		sink := csr.NewSink(src.NumVertices(), src.TotalArcs())
-		if _, err := stream.RunContext(ctx, src.Shards(), src.EachShardBatch, sink, c.stream); err != nil {
+		if _, err := stream.RunFactoryContext(ctx, src.Shards(), genFactoryOf(src), sink, c.stream); err != nil {
 			return nil, err
 		}
 		return sink.Graph()
