@@ -73,7 +73,11 @@ func main() {
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20, "maximum allowed fractional allocs/op increase (gated only when both sides measured allocs)")
 	filter := flag.String("filter", "", "regexp restricting which baseline benchmarks are gated (default: all)")
 	note := flag.String("note", "", "note stored in the baseline on -update")
+	format := flag.String("format", "text", "report format: text (aligned columns) or md (GitHub markdown table)")
 	flag.Parse()
+	if *format != "text" && *format != "md" {
+		log.Fatalf("unknown -format %q (want text or md)", *format)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -128,7 +132,13 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	report, failed := Compare(base.Benchmarks, results, *maxRegress, *maxAllocRegress, re)
+	var report string
+	var failed bool
+	if *format == "md" {
+		report, failed = CompareMarkdown(base.Benchmarks, results, *maxRegress, *maxAllocRegress, re)
+	} else {
+		report, failed = Compare(base.Benchmarks, results, *maxRegress, *maxAllocRegress, re)
+	}
 	fmt.Print(report)
 	if failed {
 		os.Exit(1)
@@ -239,45 +249,105 @@ func Ratio(old, new Result) float64 {
 // values as measured there, so old baselines never gate allocations.
 func measuredAllocs(r Result) bool { return r.AllocsPerOp > 0 }
 
-// Compare gates new results against the baseline, returning a
-// human-readable report and whether the gate failed. Throughput always
-// gates; allocs/op gates only where both sides measured it.
-func Compare(base, results map[string]Result, maxRegress, maxAllocRegress float64, filter *regexp.Regexp) (string, bool) {
+// row is one gated benchmark's comparison outcome, shared by the text
+// and markdown renderers so both formats gate identically.
+type row struct {
+	name    string
+	old     Result
+	cur     Result
+	present bool
+	ratio   float64
+	verdict string
+	failed  bool
+}
+
+// compareRows computes the gate outcome per baseline benchmark, in name
+// order. Throughput always gates; allocs/op gates only where both sides
+// measured it. The second return is the overall failure flag; a nil
+// slice with failed=true means nothing matched the filter.
+func compareRows(base, results map[string]Result, maxRegress, maxAllocRegress float64, filter *regexp.Regexp) ([]row, bool) {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if filter == nil || filter.MatchString(name) {
 			names = append(names, name)
 		}
 	}
-	sort.Strings(names)
-	var sb strings.Builder
-	failed := false
 	if len(names) == 0 {
+		return nil, true
+	}
+	sort.Strings(names)
+	rows := make([]row, 0, len(names))
+	failed := false
+	for _, name := range names {
+		old := base[name]
+		cur, ok := results[name]
+		r := row{name: name, old: old, cur: cur, present: ok, verdict: "ok"}
+		if !ok {
+			r.verdict = "FAIL (missing from bench output)"
+			r.failed = true
+		} else {
+			r.ratio = Ratio(old, cur)
+			if r.ratio < 1-maxRegress {
+				r.verdict = fmt.Sprintf("FAIL (>%.0f%% regression)", maxRegress*100)
+				r.failed = true
+			} else if measuredAllocs(old) && cur.AllocsPerOp >= 0 &&
+				cur.AllocsPerOp > old.AllocsPerOp*(1+maxAllocRegress) {
+				r.verdict = fmt.Sprintf("FAIL (allocs/op %.0f -> %.0f, >%.0f%% increase)",
+					old.AllocsPerOp, cur.AllocsPerOp, maxAllocRegress*100)
+				r.failed = true
+			}
+		}
+		failed = failed || r.failed
+		rows = append(rows, r)
+	}
+	return rows, failed
+}
+
+// Compare gates new results against the baseline, returning a
+// human-readable report and whether the gate failed.
+func Compare(base, results map[string]Result, maxRegress, maxAllocRegress float64, filter *regexp.Regexp) (string, bool) {
+	rows, failed := compareRows(base, results, maxRegress, maxAllocRegress, filter)
+	var sb strings.Builder
+	if rows == nil {
 		sb.WriteString("benchdiff: no baseline benchmarks match the filter\n")
 		return sb.String(), true
 	}
 	fmt.Fprintf(&sb, "%-55s %14s %14s %8s\n", "benchmark", "baseline", "current", "ratio")
-	for _, name := range names {
-		old := base[name]
-		cur, ok := results[name]
-		if !ok {
+	for _, r := range rows {
+		if !r.present {
 			fmt.Fprintf(&sb, "%-55s %14s %14s %8s  FAIL (missing from bench output)\n",
-				name, format(old), "-", "-")
-			failed = true
+				r.name, format(r.old), "-", "-")
 			continue
 		}
-		ratio := Ratio(old, cur)
-		verdict := "ok"
-		if ratio < 1-maxRegress {
-			verdict = fmt.Sprintf("FAIL (>%.0f%% regression)", maxRegress*100)
-			failed = true
-		} else if measuredAllocs(old) && cur.AllocsPerOp >= 0 &&
-			cur.AllocsPerOp > old.AllocsPerOp*(1+maxAllocRegress) {
-			verdict = fmt.Sprintf("FAIL (allocs/op %.0f -> %.0f, >%.0f%% increase)",
-				old.AllocsPerOp, cur.AllocsPerOp, maxAllocRegress*100)
-			failed = true
+		fmt.Fprintf(&sb, "%-55s %14s %14s %7.2fx  %s\n", r.name, format(r.old), format(r.cur), r.ratio, r.verdict)
+	}
+	return sb.String(), failed
+}
+
+// CompareMarkdown is Compare rendered as a GitHub markdown table —
+// baseline/current throughput with the ratio, and allocs/op with its
+// delta where both sides measured it — for pasting into PR descriptions
+// or uploading as a CI artifact.
+func CompareMarkdown(base, results map[string]Result, maxRegress, maxAllocRegress float64, filter *regexp.Regexp) (string, bool) {
+	rows, failed := compareRows(base, results, maxRegress, maxAllocRegress, filter)
+	var sb strings.Builder
+	if rows == nil {
+		sb.WriteString("benchdiff: no baseline benchmarks match the filter\n")
+		return sb.String(), true
+	}
+	sb.WriteString("| benchmark | baseline | current | ratio | allocs/op | verdict |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		if !r.present {
+			fmt.Fprintf(&sb, "| %s | %s | - | - | - | %s |\n", r.name, format(r.old), r.verdict)
+			continue
 		}
-		fmt.Fprintf(&sb, "%-55s %14s %14s %7.2fx  %s\n", name, format(old), format(cur), ratio, verdict)
+		allocs := "-"
+		if measuredAllocs(r.old) && r.cur.AllocsPerOp >= 0 {
+			allocs = fmt.Sprintf("%.0f → %.0f", r.old.AllocsPerOp, r.cur.AllocsPerOp)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %.2fx | %s | %s |\n",
+			r.name, format(r.old), format(r.cur), r.ratio, allocs, r.verdict)
 	}
 	return sb.String(), failed
 }

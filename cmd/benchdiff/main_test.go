@@ -121,6 +121,48 @@ func TestCompareFilter(t *testing.T) {
 	}
 }
 
+func TestCompareMarkdown(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: 120},
+		"BenchmarkB": {NsPerOp: 100, MBPerS: 100},
+		"BenchmarkC": {NsPerOp: 100, MBPerS: 100},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {NsPerOp: 80, MBPerS: 130, AllocsPerOp: 90},
+		"BenchmarkB": {NsPerOp: 300, MBPerS: 30, AllocsPerOp: -1},
+		// BenchmarkC missing from the current run.
+	}
+	report, failed := CompareMarkdown(base, cur, 0.20, 0.20, nil)
+	if !failed {
+		t.Fatalf("70%% regression + missing row passed the md gate:\n%s", report)
+	}
+	lines := strings.Split(strings.TrimRight(report, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want header + separator + 3 rows, got %d lines:\n%s", len(lines), report)
+	}
+	if !strings.HasPrefix(lines[0], "| benchmark |") || !strings.HasPrefix(lines[1], "|---") {
+		t.Fatalf("missing markdown table header:\n%s", report)
+	}
+	if !strings.Contains(lines[2], "120 → 90") || !strings.Contains(lines[2], "1.30x") || !strings.Contains(lines[2], "| ok |") {
+		t.Fatalf("improvement row wrong:\n%s", lines[2])
+	}
+	if !strings.Contains(lines[3], "FAIL") || !strings.Contains(lines[3], "| - |") {
+		t.Fatalf("regression row must FAIL with unmeasured allocs dashed:\n%s", lines[3])
+	}
+	if !strings.Contains(lines[4], "missing from bench output") {
+		t.Fatalf("missing-benchmark row wrong:\n%s", lines[4])
+	}
+
+	// The md renderer must gate exactly like the text one.
+	_, textFailed := Compare(base, cur, 0.20, 0.20, nil)
+	if textFailed != failed {
+		t.Fatal("markdown and text gates disagree")
+	}
+	if _, failed := CompareMarkdown(base, cur, 0.20, 0.20, regexp.MustCompile("NothingMatches")); !failed {
+		t.Fatal("empty md gate set must fail, not silently pass")
+	}
+}
+
 func TestCompareGatesAllocRegressions(t *testing.T) {
 	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, MBPerS: 100, AllocsPerOp: 100}}
 

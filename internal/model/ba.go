@@ -2,7 +2,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kronvalid/internal/par"
 	"kronvalid/internal/rng"
@@ -195,34 +195,112 @@ func (g *BarabasiAlbert) posDraw(p int64) int64 {
 	return rng.NewStream2(g.seed, nsBAPos, uint64(p)).Int64n(p)
 }
 
-// resolve retraces the dependency chain of endpoint slot p until it
+// baMemoWindow is the settled-slot memo's coverage: odd endpoint slots
+// below the window are memoized in a direct-indexed array (4 MiB per
+// worker at the cap). Retracing draws are uniform over strictly smaller
+// prefixes, so chain visits concentrate on the low end of the slot
+// space — exactly the region the fixed window covers — while high slots
+// are rarely revisited and stay cheap to re-chase.
+const baMemoWindow = int64(1) << 20
+
+// maxBAChainRecord bounds how many intermediate slots of one chain are
+// backfilled into the memo; chains are O(1) expected, so the bound only
+// exists to keep the stack record fixed-size.
+const maxBAChainRecord = 64
+
+// baState is the per-worker scratch of the retracing Enumerate phase:
+// a value generator reseeded in place per odd slot (replacing one heap
+// allocation per retracing step), the per-vertex target buffer, and the
+// settled-slot memo — memo[k] resolves odd slot 2k+1, -1 unset — so
+// chains crossing slots already resolved by earlier chunks of the same
+// worker terminate immediately. Resolution is pure, so memo hits return
+// exactly the value a fresh chase would: state can never move a byte.
+type baState struct {
+	s        rng.Xoshiro256
+	targets  []int64
+	memo     []int64
+	memoUsed int64
+}
+
+// ResidentPoints returns the number of settled slots held by the memo —
+// the quantity the window bounds.
+func (st *baState) ResidentPoints() int64 { return st.memoUsed }
+
+// NewWorkerState returns fresh retracing scratch for one worker.
+func (g *BarabasiAlbert) NewWorkerState() WorkerState {
+	win := baMemoWindow
+	if tot := 2 * (g.seedEdges() + (g.n-g.s0)*g.d); tot < win {
+		win = tot // never allocate past the slot space
+	}
+	memo := make([]int64, win/2)
+	for i := range memo {
+		memo[i] = -1
+	}
+	return &baState{targets: make([]int64, 0, g.d), memo: memo}
+}
+
+// resolveWith retraces the dependency chain of endpoint slot p until it
 // lands on a settled slot and returns that slot's vertex: seed-star
-// slots and even slots are known in closed form; odd slots recurse via
-// their per-position hash draw. Matches the sequential process exactly
+// slots and even slots are known in closed form; odd slots chase their
+// per-position hash draw, shortcutting through the worker's memo.
+// Matches the sequential process exactly
 // (TestBARetracingMatchesSequentialProcess).
-func (g *BarabasiAlbert) resolve(p int64) int64 {
+func (g *BarabasiAlbert) resolveWith(st *baState, p int64) int64 {
 	se := g.seedEdges()
+	var chain [maxBAChainRecord]int64
+	hops := 0
+	var v int64
 	for {
 		if p < 2*se {
 			// Seed star: edge j = p/2 connects hub 0 and leaf j+1.
 			if p%2 == 0 {
-				return 0
+				v = 0
+			} else {
+				v = p/2 + 1
 			}
-			return p/2 + 1
+			break
 		}
 		if p%2 == 0 {
 			// Source slot of edge e: the issuing vertex.
-			return g.s0 + (p/2-se)/g.d
+			v = g.s0 + (p/2-se)/g.d
+			break
 		}
-		p = g.posDraw(p)
+		// p odd: memo index p>>1 = (p-1)/2 is unique among odd slots.
+		if k := p >> 1; k < int64(len(st.memo)) {
+			if w := st.memo[k]; w >= 0 {
+				v = w
+				break
+			}
+			if hops < len(chain) {
+				chain[hops] = k
+				hops++
+			}
+		}
+		st.s.ReseedStream2(g.seed, nsBAPos, uint64(p))
+		p = st.s.Int64n(p)
 	}
+	// Backfill: every in-window odd slot visited resolved to v too.
+	for i := 0; i < hops; i++ {
+		if st.memo[chain[i]] < 0 {
+			st.memoUsed++
+		}
+		st.memo[chain[i]] = v
+	}
+	return v
 }
 
-// GenerateChunk streams chunk c: the seed star (if owned), then each
-// owned vertex's d retraced attachments — self loops dropped, per-vertex
-// duplicates merged, targets sorted — as canonical (v, w) arcs, w < v
-// (every retraced chain settles on an earlier vertex).
+// GenerateChunk streams chunk c with one-shot worker state; see
+// GenerateChunkWith.
 func (g *BarabasiAlbert) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	g.GenerateChunkWith(g.NewWorkerState(), c, buf, emit)
+}
+
+// GenerateChunkWith streams chunk c: the seed star (if owned), then
+// each owned vertex's d retraced attachments — self loops dropped,
+// per-vertex duplicates merged, targets sorted — as canonical (v, w)
+// arcs, w < v (every retraced chain settles on an earlier vertex).
+func (g *BarabasiAlbert) GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
+	st := ws.(*baState)
 	r := g.ranges[c]
 	b := newBatcher(buf, emit)
 	if r[0] == 0 {
@@ -233,17 +311,16 @@ func (g *BarabasiAlbert) GenerateChunk(c int, buf []stream.Arc, emit func([]stre
 		}
 	}
 	se := g.seedEdges()
-	targets := make([]int64, 0, g.d)
 	for v := maxInt64(r[0], g.s0); v < r[1]; v++ {
 		e0 := se + (v-g.s0)*g.d
-		targets = targets[:0]
+		targets := st.targets[:0]
 		for i := int64(0); i < g.d; i++ {
-			w := g.resolve(2*(e0+i) + 1)
+			w := g.resolveWith(st, 2*(e0+i)+1)
 			if w != v {
 				targets = append(targets, w)
 			}
 		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		slices.Sort(targets)
 		var prev int64 = -1
 		for _, w := range targets {
 			if w == prev {

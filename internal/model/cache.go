@@ -27,16 +27,26 @@ const maxFreeSamples = 256
 
 // cellTable lazily materializes a splitTree's full prefix table, once
 // per generator, shared read-only by every worker state. get returns
-// nil when the tree is too large to tabulate.
+// nil when the tree is too large to tabulate. Alongside the table it
+// builds an occupancy bitmap (bit c set iff slot c is nonempty): the
+// sweep's emptiness checks touch one bit in a table 64× smaller than
+// the prefix array, so they stay L1-resident across neighbor strides.
 type cellTable struct {
 	once sync.Once
 	tab  []int64
+	occ  []uint64
 }
 
 func (ct *cellTable) get(t *splitTree) []int64 {
 	ct.once.Do(func() {
 		if t.slots <= maxCellTableSlots {
 			ct.tab = t.expandPrefix()
+			ct.occ = make([]uint64, (t.slots+63)/64)
+			for c := 0; c < t.slots; c++ {
+				if ct.tab[c+1] != ct.tab[c] {
+					ct.occ[c>>6] |= 1 << (uint(c) & 63)
+				}
+			}
 		}
 	})
 	return ct.tab
@@ -124,17 +134,18 @@ func allocSample(st *spatialState, start int64, n, cols int) *cellSample {
 // distinct slots by construction, so a slot collision only ever evicts
 // a stale earlier cell. Otherwise `cache` is a plain map.
 type spatialState struct {
-	ring   []*cellSample
-	cache  map[int]*cellSample
-	pts    int64         // resident points across the cache
-	ptsCap int64         // eviction bound (wholesale reset past it)
-	tab    []int64       // shared prefix table; nil when the tree is too large
-	memo   splitMemo     // per-worker descent memo, used only when tab == nil
-	free   []*cellSample // retired samples whose backing arrays get reused
-	hits   []int32       // pair-kernel hit indices, reused per segment
-	nbs    []*cellSample // staged partner cells of the current own cell (rgg)
-	cand   []int         // forward-partner index scratch (rhg windows)
-	unif   []float64     // raw-uniform scratch (rhg sampling)
+	ring     []*cellSample
+	ringMask int // len(ring)-1; ring length is a power of two
+	cache    map[int]*cellSample
+	pts      int64         // resident points across the cache
+	ptsCap   int64         // eviction bound (wholesale reset past it)
+	tab      []int64       // shared prefix table; nil when the tree is too large
+	occ      []uint64      // shared occupancy bitmap paired with tab
+	memo     splitMemo     // per-worker descent memo, used only when tab == nil
+	free     []*cellSample // retired samples whose backing arrays get reused
+	hits     []int32       // pair-kernel hit indices, reused per segment
+	cand     []int         // forward-partner index scratch (rhg windows)
+	unif     []float64     // raw-uniform scratch (rhg sampling)
 
 	// Flattened halo of the own cell currently enumerated: the own
 	// cell's points followed by every staged partner cell's, one
@@ -154,19 +165,56 @@ func (st *spatialState) resetFlat() {
 }
 
 // appendFlat appends sample s's first cols coordinate columns and its
-// global ids to the flattened halo.
+// global ids to the flattened halo. Cells are tiny at the occupancies
+// the grids target, so the copy is one fused scalar pass instead of a
+// memmove-backed append per column.
 func (st *spatialState) appendFlat(s *cellSample, cols int) {
-	st.fxs = append(st.fxs, s.xs...)
-	st.fys = append(st.fys, s.ys...)
+	k := len(st.fvids)
+	n := k + s.n
+	st.ensureFlat(n)
+	st.fxs, st.fys, st.fvids = st.fxs[:n], st.fys[:n], st.fvids[:n]
+	for j := 0; j < s.n; j++ {
+		st.fxs[k+j] = s.xs[j]
+		st.fys[k+j] = s.ys[j]
+		st.fvids[k+j] = s.start + int64(j)
+	}
 	if cols > 2 {
-		st.fzs = append(st.fzs, s.zs...)
+		st.fzs = st.fzs[:n]
+		for j := 0; j < s.n; j++ {
+			st.fzs[k+j] = s.zs[j]
+		}
 	}
 	if cols > 3 {
-		st.fws = append(st.fws, s.ws...)
+		st.fws = st.fws[:n]
+		for j := 0; j < s.n; j++ {
+			st.fws[k+j] = s.ws[j]
+		}
 	}
-	for j := 0; j < s.n; j++ {
-		st.fvids = append(st.fvids, s.start+int64(j))
+}
+
+// ensureFlat grows every halo column to capacity >= n, preserving each
+// column's current contents. All columns share one capacity so
+// appendFlat can re-slice them without further checks.
+func (st *spatialState) ensureFlat(n int) {
+	c := cap(st.fvids)
+	if c >= n {
+		return
 	}
+	if c == 0 {
+		c = 256
+	}
+	for c < n {
+		c *= 2
+	}
+	growF := func(s []float64) []float64 {
+		t := make([]float64, len(s), c)
+		copy(t, s)
+		return t
+	}
+	st.fxs, st.fys, st.fzs, st.fws = growF(st.fxs), growF(st.fys), growF(st.fzs), growF(st.fws)
+	v := make([]int64, len(st.fvids), c)
+	copy(v, st.fvids)
+	st.fvids = v
 }
 
 // newSpatialState builds a worker state. window > 0 selects the ring
@@ -178,8 +226,17 @@ func newSpatialState(t *splitTree, ct *cellTable, ptsCap int64, window int) *spa
 		ptsCap: ptsCap,
 		tab:    ct.get(t),
 	}
+	st.occ = ct.occ
 	if window > 0 {
-		st.ring = make([]*cellSample, window)
+		// Round the slot count up to a power of two so the hot-path
+		// slot computation is a mask, not an integer division. A larger
+		// ring still satisfies the distinct-slot window contract.
+		size := 1
+		for size < window {
+			size <<= 1
+		}
+		st.ring = make([]*cellSample, size)
+		st.ringMask = size - 1
 	} else {
 		st.cache = map[int]*cellSample{}
 	}
@@ -222,7 +279,7 @@ func (st *spatialState) checkMemo() {
 // lookup returns the cached sample of cell, or nil on a miss.
 func (st *spatialState) lookup(cell int) *cellSample {
 	if st.ring != nil {
-		if e := st.ring[cell%len(st.ring)]; e != nil && e.cell == cell {
+		if e := st.ring[cell&st.ringMask]; e != nil && e.cell == cell {
 			return e
 		}
 		return nil
@@ -237,7 +294,7 @@ func (st *spatialState) lookup(cell int) *cellSample {
 func (st *spatialState) hold(cell int, s *cellSample) {
 	s.cell = cell
 	if st.ring != nil {
-		slot := cell % len(st.ring)
+		slot := cell & st.ringMask
 		if old := st.ring[slot]; old != nil {
 			st.pts -= int64(old.n)
 			st.retire(old)
@@ -265,12 +322,12 @@ func (st *spatialState) retire(s *cellSample) {
 // bookkeeping, and is byte-safe because any evicted cell a later chunk
 // needs is simply regenerated with identical values. The invariant at
 // the end of every own-cell iteration is ResidentPoints() <= ptsCap.
-// Wholesale clears do NOT feed the freelist: cleared entries may still
-// be staged (st.nbs or the flattened halo), and a recycled backing
-// array must never alias a sample the kernels can still read.
+// Wholesale clears do NOT feed the freelist: a recycled backing array
+// must never alias a sample the kernels can still read (the flattened
+// halo copies values out, but the own cell's columns are read live).
 func (st *spatialState) dropOwn(cell int) {
 	if st.ring != nil {
-		slot := cell % len(st.ring)
+		slot := cell & st.ringMask
 		if s := st.ring[slot]; s != nil && s.cell == cell {
 			st.ring[slot] = nil
 			st.pts -= int64(s.n)

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"kronvalid/internal/stream"
+)
+
+// oracleWeights builds a small registry-shaped weight sequence spanning
+// all three regions of the blockwise core: saturated head pairs
+// (w_i·w_j ≥ Σw), varying-weight head columns, and a constant
+// dmin-floored tail.
+func oracleWeights(n int) []float64 {
+	const dmax, dmin, gamma = 30.0, 1.0, 1.8
+	w := make([]float64, n)
+	exp := -1 / (gamma - 1)
+	for i := range w {
+		w[i] = dmax * math.Pow(float64(i+1), exp)
+		if w[i] < dmin {
+			w[i] = dmin
+		}
+	}
+	return w
+}
+
+// collectBucketed regenerates the full stream through the retained
+// bucketed oracle core.
+func collectBucketed(g *ChungLu) []stream.Arc {
+	var out []stream.Arc
+	buf := make([]stream.Arc, 0, 256)
+	for c := 0; c < g.Chunks(); c++ {
+		g.generateChunkBucketed(c, buf, func(full []stream.Arc) []stream.Arc {
+			out = append(out, full...)
+			return full[:0]
+		})
+	}
+	return out
+}
+
+// TestChungLuBlockwiseMatchesBucketedDistribution is the digest
+// re-pin's oracle (see DESIGN.md, "Digest re-pin policy"): the
+// blockwise production core draws a different stream than the retained
+// bucketed core, so byte equality is unavailable — instead, both cores
+// realize the same per-pair Bernoulli law min(1, w_i·w_j/Σw), checked
+// here three ways over many seeds: (1) every pair's blockwise frequency
+// matches its analytic probability, (2) every pair's two empirical
+// frequencies agree within binomial noise, (3) saturated pairs (p = 1)
+// appear in every single graph under both cores.
+func TestChungLuBlockwiseMatchesBucketedDistribution(t *testing.T) {
+	const n = 48
+	const seeds = 1500
+	w := oracleWeights(n)
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	pairIdx := func(i, j int64) int { return int(i)*n + int(j) }
+	countNew := make([]int64, n*n)
+	countOld := make([]int64, n*n)
+	for seed := uint64(0); seed < seeds; seed++ {
+		g, err := NewChungLu(w, seed, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range Collect(g) {
+			countNew[pairIdx(a.U, a.V)]++
+		}
+		for _, a := range collectBucketed(g) {
+			countOld[pairIdx(a.U, a.V)]++
+		}
+	}
+	sawSaturated := false
+	for i := int64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := w[i] * w[j] / sum
+			if p > 1 {
+				p = 1
+			}
+			cN, cO := countNew[pairIdx(i, j)], countOld[pairIdx(i, j)]
+			if p == 1 {
+				sawSaturated = true
+				if cN != seeds || cO != seeds {
+					t.Fatalf("pair (%d,%d) is saturated but appeared %d/%d (blockwise/bucketed) of %d graphs", i, j, cN, cO, seeds)
+				}
+				continue
+			}
+			fN, fO := float64(cN)/seeds, float64(cO)/seeds
+			// (1) blockwise marginal vs the analytic law, 6 sd + quantization slack.
+			if tol := 6*math.Sqrt(p*(1-p)/seeds) + 2.0/seeds; math.Abs(fN-p) > tol {
+				t.Errorf("pair (%d,%d): blockwise frequency %v vs analytic p %v (tol %v)", i, j, fN, p, tol)
+			}
+			// (2) blockwise vs bucketed, 6 sd of the paired difference.
+			ph := (fN + fO) / 2
+			if tol := 6*math.Sqrt(2*ph*(1-ph)/seeds) + 2.0/seeds; math.Abs(fN-fO) > tol {
+				t.Errorf("pair (%d,%d): blockwise frequency %v vs bucketed %v (tol %v)", i, j, fN, fO, tol)
+			}
+		}
+	}
+	if !sawSaturated {
+		t.Fatal("oracle weights produced no saturated pair; the p=1 region is untested")
+	}
+}
+
+// TestChungLuWorkerStateReuseRace drives the scratch-reusing
+// ChunkCacher cores (chunglu, ba) from several goroutines at once, each
+// goroutine reusing one WorkerState across every chunk, and checks each
+// sees the serial stream. Run under -race in CI, it proves worker
+// states share no hidden mutable state through their generator.
+func TestChungLuWorkerStateReuseRace(t *testing.T) {
+	for _, spec := range []string{
+		"chunglu:n=3000,dmax=60,gamma=2.4,seed=5",
+		"ba:n=2000,d=3,seed=15",
+	} {
+		g, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, ok := g.(ChunkCacher)
+		if !ok {
+			t.Fatalf("%s: not a ChunkCacher", spec)
+		}
+		want := Collect(g)
+		var wg sync.WaitGroup
+		for worker := 0; worker < 4; worker++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := cc.NewWorkerState()
+				var out []stream.Arc
+				buf := make([]stream.Arc, 0, 256)
+				for c := 0; c < g.Chunks(); c++ {
+					cc.GenerateChunkWith(ws, c, buf, func(full []stream.Arc) []stream.Arc {
+						out = append(out, full...)
+						return full[:0]
+					})
+				}
+				if !sameArcs(out, want) {
+					t.Errorf("%s: concurrent worker-state stream differs from serial stream (%d vs %d arcs)", spec, len(out), len(want))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

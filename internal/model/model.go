@@ -45,6 +45,8 @@
 package model
 
 import (
+	"sort"
+
 	"kronvalid/internal/par"
 	"kronvalid/internal/stream"
 )
@@ -60,7 +62,8 @@ const (
 	nsGnmSplit  = 0x676e_6d02 // G(n,m) binomial-splitting tree
 	nsRMATChunk = 0x726d_6101 // R-MAT chunk streams
 	nsRMATSplit = 0x726d_6102 // R-MAT multinomial-splitting tree
-	nsCLChunk   = 0x636c_7501 // Chung–Lu chunk streams
+	nsCLChunk   = 0x636c_7501 // Chung–Lu bucketed-sweep chunk streams (oracle core)
+	nsCLBlock   = 0x636c_7502 // Chung–Lu blockwise chunk streams (production core)
 	nsRGGCell   = 0x7267_6701 // RGG per-cell coordinate streams
 	nsRGGSplit  = 0x7267_6702 // RGG cell-occupancy splitting tree
 	nsBAPos     = 0x6261_0001 // BA per-edge-position hash streams
@@ -430,6 +433,44 @@ func weightedRuns(n, parts int, weight func(int) float64, keepEmpty bool) [][2]i
 		for hi < n && (s == parts-1 || cursor < target) {
 			cursor += weight(hi)
 			hi++
+		}
+		if hi > prev || keepEmpty {
+			runs = append(runs, [2]int{prev, hi})
+		}
+		prev = hi
+	}
+	if len(runs) == 0 {
+		runs = append(runs, [2]int{0, n})
+	}
+	return runs
+}
+
+// prefixRuns is weightedRuns over a precomputed prefix-sum array, where
+// prefix[i] is the cumulative weight of items [0, i). The generic loop
+// ends part s at the first index whose running total reaches
+// total·(s+1)/parts, and the running total at index i is exactly
+// prefix[i], so each boundary is an upper-bound binary search — the
+// same cuts, bit for bit, in O(parts·log n) instead of a second O(n)
+// accumulation pass.
+func prefixRuns(prefix []float64, parts int, keepEmpty bool) [][2]int {
+	n := len(prefix) - 1
+	if parts <= 0 {
+		parts = 1
+	}
+	if !keepEmpty && parts > n {
+		parts = n
+	}
+	total := prefix[n]
+	runs := make([][2]int, 0, parts)
+	prev := 0
+	for s := 0; s < parts; s++ {
+		hi := n
+		if s < parts-1 {
+			target := total * float64(s+1) / float64(parts)
+			hi = prev + sort.SearchFloat64s(prefix[prev:], target)
+			if hi > n {
+				hi = n
+			}
 		}
 		if hi > prev || keepEmpty {
 			runs = append(runs, [2]int{prev, hi})

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"kronvalid/internal/par"
@@ -334,6 +335,14 @@ func (g *RGG) Dependencies(c int) []int64 {
 // worker's prefix table or memo (nil falls back to plain descents,
 // for oracles and tests); neither changes a value, only its cost.
 func (g *RGG) samplePoints(cell int, st *spatialState) *cellSample {
+	return g.samplePointsAt(cell, g.cellCoords(cell), st)
+}
+
+// samplePointsAt is samplePoints for a caller that already knows the
+// cell's grid coordinates (the sweep tracks them incrementally), saving
+// the divmod decomposition per regenerated cell. xyz must equal
+// cellCoords(cell).
+func (g *RGG) samplePointsAt(cell int, xyz [3]int, st *spatialState) *cellSample {
 	var cnt, start int64
 	if st != nil {
 		cnt = st.count(&g.tree, cell)
@@ -351,7 +360,6 @@ func (g *RGG) samplePoints(cell int, st *spatialState) *cellSample {
 	if cnt == 0 {
 		return s
 	}
-	xyz := g.cellCoords(cell)
 	rs := rng.NewStream2(g.seed, nsRGGCell, uint64(cell))
 	// SoA batched fill: per-point draw order x, y(, z) — draw-for-draw
 	// identical to the per-point UnitUniform loop it replaced.
@@ -377,12 +385,11 @@ func (g *RGG) samplePoints(cell int, st *spatialState) *cellSample {
 	return s
 }
 
-// getCell reads cell through the worker's cache, regenerating on miss.
-func (g *RGG) getCell(st *spatialState, cell int) *cellSample {
-	if e := st.lookup(cell); e != nil {
-		return e
-	}
-	e := g.samplePoints(cell, st)
+// sampleHold regenerates cell (with known coordinates) on a cache miss
+// and caches it. The hot-path cache hit check is inlined at the call
+// sites; this is the slow path only.
+func (g *RGG) sampleHold(st *spatialState, cell int, xyz [3]int) *cellSample {
+	e := g.samplePointsAt(cell, xyz, st)
 	st.hold(cell, e)
 	return e
 }
@@ -403,11 +410,13 @@ func (g *RGG) GenerateChunk(c int, buf []stream.Arc, emit func([]stream.Arc) []s
 }
 
 // GenerateChunkWith streams chunk c: for each owned cell in index
-// order, its points are compared against the cell's own later points
-// and every forward neighbor's points (regenerated through ws's cell
-// cache), emitting (u, v), u < v, for each pair within distance r. Per
-// source vertex the partner segments are visited in ascending id order,
-// so the stream is canonical by construction.
+// order, its points plus every forward neighbor's points (regenerated
+// through ws's cell cache) are flattened into one contiguous halo, and
+// each own point runs one kernel call over the halo tail behind it,
+// emitting (u, v), u < v, for each pair within distance r. Neighbor
+// segments are staged in ascending id order, so the stream is canonical
+// by construction. Cell coordinates advance incrementally with the
+// row-major scan instead of a divmod per cell.
 func (g *RGG) GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit func([]stream.Arc) []stream.Arc) {
 	st := ws.(*spatialState)
 	lo, hi := g.runs[c][0], g.runs[c][1]
@@ -415,19 +424,64 @@ func (g *RGG) GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit fu
 		return
 	}
 	b := newBatcher(buf, emit)
+	xyz := g.cellCoords(lo)
+	dim3 := g.dim == 3
+	// With the shared occupancy bitmap available, a cell's emptiness is
+	// one L1-resident bit test — far cheaper than a ring probe plus a
+	// pointer chase into a cached empty sample. Empty cells contribute
+	// nothing to any halo, so skipping them (as own cell or neighbor)
+	// changes no emitted arc; they are simply never cached.
+	occ := st.occ
+	// The halo columns live in locals so the per-neighbor staging is a
+	// plain append loop — no call, no slice-header writeback per cell.
+	// Capacities persist in st across chunks via the write-back below.
+	fxs, fys, fzs, fvids := st.fxs[:0], st.fys[:0], st.fzs[:0], st.fvids[:0]
 	for cell := lo; cell < hi; cell++ {
-		own := g.getCell(st, cell)
+		if occ != nil && occ[uint(cell)>>6]&(1<<(uint(cell)&63)) == 0 {
+			if xyz[0]++; xyz[0] == g.grid {
+				xyz[0] = 0
+				if xyz[1]++; xyz[1] == g.grid {
+					xyz[1] = 0
+					xyz[2]++
+				}
+			}
+			continue
+		}
+		own := st.ring[cell&st.ringMask]
+		if own == nil || own.cell != cell {
+			own = g.sampleHold(st, cell, xyz)
+		}
 		if own.n > 0 {
-			xyz := g.cellCoords(cell)
-			nbs := st.nbs[:0]
+			fxs, fys, fzs, fvids = fxs[:0], fys[:0], fzs[:0], fvids[:0]
+			for j := 0; j < own.n; j++ {
+				fxs = append(fxs, own.xs[j])
+				fys = append(fys, own.ys[j])
+				fvids = append(fvids, own.start+int64(j))
+			}
+			if dim3 {
+				fzs = append(fzs, own.zs...)
+			}
 			// Interior cells (no face contact) pass every per-delta bounds
 			// check by construction, so skip the checks wholesale.
 			interior := xyz[0] >= 1 && xyz[0] < g.grid-1 && xyz[1] >= 1 && xyz[1] < g.grid-1 &&
 				(g.dim == 2 || (xyz[2] >= 1 && xyz[2] < g.grid-1))
 			if interior {
 				for _, d := range g.nbDeltas {
-					if e := g.getCell(st, cell+d.off); e.n > 0 {
-						nbs = append(nbs, e)
+					nb := cell + d.off
+					if occ != nil && occ[uint(nb)>>6]&(1<<(uint(nb)&63)) == 0 {
+						continue
+					}
+					e := st.ring[nb&st.ringMask]
+					if e == nil || e.cell != nb {
+						e = g.sampleHold(st, nb, [3]int{xyz[0] + d.dx, xyz[1] + d.dy, xyz[2] + d.dz})
+					}
+					for j := 0; j < e.n; j++ {
+						fxs = append(fxs, e.xs[j])
+						fys = append(fys, e.ys[j])
+						fvids = append(fvids, e.start+int64(j))
+					}
+					if dim3 {
+						fzs = append(fzs, e.zs...)
 					}
 				}
 			} else {
@@ -436,77 +490,115 @@ func (g *RGG) GenerateChunkWith(ws WorkerState, c int, buf []stream.Arc, emit fu
 					if x < 0 || x >= g.grid || y < 0 || y >= g.grid || z < 0 || z >= g.grid {
 						continue
 					}
-					if e := g.getCell(st, cell+d.off); e.n > 0 {
-						nbs = append(nbs, e)
+					nb := cell + d.off
+					if occ != nil && occ[uint(nb)>>6]&(1<<(uint(nb)&63)) == 0 {
+						continue
+					}
+					e := st.ring[nb&st.ringMask]
+					if e == nil || e.cell != nb {
+						e = g.sampleHold(st, nb, [3]int{x, y, z})
+					}
+					for j := 0; j < e.n; j++ {
+						fxs = append(fxs, e.xs[j])
+						fys = append(fys, e.ys[j])
+						fvids = append(fvids, e.start+int64(j))
+					}
+					if dim3 {
+						fzs = append(fzs, e.zs...)
 					}
 				}
 			}
-			st.nbs = nbs
 			ok := false
-			if g.dim == 2 {
-				ok = g.pairsCell2(b, st, own)
+			if dim3 {
+				ok = g.pairsCell3(b, st, own, fxs, fys, fzs, fvids)
 			} else {
-				ok = g.pairsCell3(b, st, own)
+				ok = g.pairsCell2(b, st, own, fxs, fys, fvids)
 			}
 			if !ok {
 				return
 			}
 		}
 		st.dropOwn(cell)
+		if xyz[0]++; xyz[0] == g.grid {
+			xyz[0] = 0
+			if xyz[1]++; xyz[1] == g.grid {
+				xyz[1] = 0
+				xyz[2]++
+			}
+		}
 	}
+	st.fxs, st.fys, st.fzs, st.fvids = fxs[:0], fys[:0], fzs[:0], fvids[:0]
 	b.flush()
 }
 
-// pairsCell2 emits every within-r pair of own against itself and the
-// staged neighbor cells (2D kernel). One kernel call per (point, cell)
-// segment beats flattening the halo here: at the sub-unit occupancies
-// the rgg grids aim for, copying each point into a contiguous halo
-// costs more than the per-segment call overhead it would save.
-func (g *RGG) pairsCell2(b *batcher, st *spatialState, own *cellSample) bool {
+// pairsCell2 emits every within-r pair of own point i against the
+// flattened halo tail flat[i+1:] — the own cell's later points followed
+// by every staged neighbor cell's, in ascending id order. One kernel
+// call per own point covers what used to be one call per neighbor cell;
+// the flattened values and scan order are bit-identical to the
+// per-cell segment walk, so the emitted arcs are too.
+func (g *RGG) pairsCell2(b *batcher, st *spatialState, own *cellSample, fxs, fys []float64, fvids []int64) bool {
 	for i := 0; i < own.n; i++ {
-		px, py := own.xs[i], own.ys[i]
-		u := own.start + int64(i)
-		st.hits = within2(px, py, g.r2, own.xs[i+1:], own.ys[i+1:], st.hits[:0])
-		if !b.addRun(u, u+1, st.hits) {
+		st.hits = within2(own.xs[i], own.ys[i], g.r2, fxs[i+1:], fys[i+1:], st.hits[:0])
+		if !b.addIdx(own.start+int64(i), fvids[i+1:], st.hits) {
 			return false
-		}
-		for _, nb := range st.nbs {
-			st.hits = within2(px, py, g.r2, nb.xs, nb.ys, st.hits[:0])
-			if !b.addRun(u, nb.start, st.hits) {
-				return false
-			}
 		}
 	}
 	return true
 }
 
 // pairsCell3 is pairsCell2 with the 3D kernel.
-func (g *RGG) pairsCell3(b *batcher, st *spatialState, own *cellSample) bool {
+func (g *RGG) pairsCell3(b *batcher, st *spatialState, own *cellSample, fxs, fys, fzs []float64, fvids []int64) bool {
 	for i := 0; i < own.n; i++ {
-		px, py, pz := own.xs[i], own.ys[i], own.zs[i]
-		u := own.start + int64(i)
-		st.hits = within3(px, py, pz, g.r2, own.xs[i+1:], own.ys[i+1:], own.zs[i+1:], st.hits[:0])
-		if !b.addRun(u, u+1, st.hits) {
+		st.hits = within3(own.xs[i], own.ys[i], own.zs[i], g.r2,
+			fxs[i+1:], fys[i+1:], fzs[i+1:], st.hits[:0])
+		if !b.addIdx(own.start+int64(i), fvids[i+1:], st.hits) {
 			return false
-		}
-		for _, nb := range st.nbs {
-			st.hits = within3(px, py, pz, g.r2, nb.xs, nb.ys, nb.zs, st.hits[:0])
-			if !b.addRun(u, nb.start, st.hits) {
-				return false
-			}
 		}
 	}
 	return true
 }
 
+// kernelLanes is the fixed block width of the distance kernels: the
+// body evaluates kernelLanes independent lanes per iteration with the
+// hit bits OR-ed into a mask — no data-dependent branch in the compare
+// loop — and drains the mask afterwards. Eight float64 lanes are two
+// 256-bit vectors' worth of independent work, enough to hide the
+// subtract/multiply latency chain even without auto-vectorization.
+const kernelLanes = 8
+
 // within2 appends to hits the ascending indices j of the SoA segment
-// with (x−xs[j])² + (y−ys[j])² <= r2. The accumulation shape matches
-// the scalar within loop statement for statement (d2 = dx·dx, then
-// d2 += dy·dy), so any platform's rounding/fusion decisions are the
-// same and the predicate cannot move a bit.
+// with (x−xs[j])² + (y−ys[j])² <= r2. Blocked kernelLanes at a time:
+// each lane evaluates the same expression tree as the scalar tail
+// (d2 = dx·dx, then d2 += dy·dy), so any platform's rounding/fusion
+// decisions are identical lane by lane and the predicate cannot move a
+// bit; only the branch structure changes. Hits drain from the mask in
+// ascending bit order, preserving the emission order.
 func within2(x, y, r2 float64, xs, ys []float64, hits []int32) []int32 {
 	ys = ys[:len(xs)]
-	for j := range xs {
+	j := 0
+	for ; j+kernelLanes <= len(xs); j += kernelLanes {
+		bx := xs[j : j+kernelLanes : j+kernelLanes]
+		by := ys[j : j+kernelLanes : j+kernelLanes]
+		var mask uint32
+		for k := 0; k < kernelLanes; k++ {
+			dx := x - bx[k]
+			dy := y - by[k]
+			d2 := dx * dx
+			d2 += dy * dy
+			var hit uint32
+			if d2 <= r2 {
+				hit = 1
+			}
+			mask |= hit << k
+		}
+		for mask != 0 {
+			k := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			hits = append(hits, int32(j+k))
+		}
+	}
+	for ; j < len(xs); j++ {
 		dx := x - xs[j]
 		dy := y - ys[j]
 		d2 := dx * dx
@@ -522,7 +614,32 @@ func within2(x, y, r2 float64, xs, ys []float64, hits []int32) []int32 {
 func within3(x, y, z, r2 float64, xs, ys, zs []float64, hits []int32) []int32 {
 	ys = ys[:len(xs)]
 	zs = zs[:len(xs)]
-	for j := range xs {
+	j := 0
+	for ; j+kernelLanes <= len(xs); j += kernelLanes {
+		bx := xs[j : j+kernelLanes : j+kernelLanes]
+		by := ys[j : j+kernelLanes : j+kernelLanes]
+		bz := zs[j : j+kernelLanes : j+kernelLanes]
+		var mask uint32
+		for k := 0; k < kernelLanes; k++ {
+			dx := x - bx[k]
+			dy := y - by[k]
+			dz := z - bz[k]
+			d2 := dx * dx
+			d2 += dy * dy
+			d2 += dz * dz
+			var hit uint32
+			if d2 <= r2 {
+				hit = 1
+			}
+			mask |= hit << k
+		}
+		for mask != 0 {
+			k := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			hits = append(hits, int32(j+k))
+		}
+	}
+	for ; j < len(xs); j++ {
 		dx := x - xs[j]
 		dy := y - ys[j]
 		dz := z - zs[j]

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"kronvalid/internal/par"
@@ -572,15 +573,36 @@ func (g *RHG) within(p, q []float64) bool {
 }
 
 // rhgHits appends to hits the ascending indices j of the SoA segment
-// within hyperbolic distance R of the point (c0, s0, ch, sh). The
-// predicate is the same expression tree as within, so any platform's
-// rounding/fusion decisions are identical and the emitted bits cannot
-// move.
+// within hyperbolic distance R of the point (c0, s0, ch, sh). Blocked
+// kernelLanes at a time with branchless mask accumulation, like the rgg
+// kernels; every lane and the scalar tail evaluate the same expression
+// tree as within, so any platform's rounding/fusion decisions are
+// identical and the emitted bits cannot move.
 func rhgHits(c0, s0, ch, sh, coshR float64, xs, ys, zs, ws []float64, hits []int32) []int32 {
 	ys = ys[:len(xs)]
 	zs = zs[:len(xs)]
 	ws = ws[:len(xs)]
-	for j := range xs {
+	j := 0
+	for ; j+kernelLanes <= len(xs); j += kernelLanes {
+		bx := xs[j : j+kernelLanes : j+kernelLanes]
+		by := ys[j : j+kernelLanes : j+kernelLanes]
+		bz := zs[j : j+kernelLanes : j+kernelLanes]
+		bw := ws[j : j+kernelLanes : j+kernelLanes]
+		var mask uint32
+		for k := 0; k < kernelLanes; k++ {
+			var hit uint32
+			if ch*bz[k]-sh*bw[k]*(c0*bx[k]+s0*by[k]) <= coshR {
+				hit = 1
+			}
+			mask |= hit << k
+		}
+		for mask != 0 {
+			k := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			hits = append(hits, int32(j+k))
+		}
+	}
+	for ; j < len(xs); j++ {
 		if ch*zs[j]-sh*ws[j]*(c0*xs[j]+s0*ys[j]) <= coshR {
 			hits = append(hits, int32(j))
 		}

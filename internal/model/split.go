@@ -42,7 +42,11 @@ func (t *splitTree) leftShare(lo, mid, hi int, m int64, memo splitMemo) int64 {
 		return v
 	}
 	mLeft := int64(0)
-	if total := t.weight(lo, hi); total > 0 {
+	// m == 0 short-circuits without touching the node's stream: the
+	// binomial draw would return 0 without consuming anything, and node
+	// streams are independent, so skipping the stream setup changes no
+	// value anywhere.
+	if total := t.weight(lo, hi); total > 0 && m > 0 {
 		left := t.weight(lo, mid)
 		s := rng.NewStream2(t.seed, t.ns, node)
 		mLeft = s.Binomial(m, float64(left)/float64(total))
@@ -105,6 +109,13 @@ func (t *splitTree) expandPrefix() []int64 {
 	}
 	var rec func(lo, hi int, m int64)
 	rec = func(lo, hi int, m int64) {
+		if m == 0 {
+			// Every slot under this node is empty and p is already
+			// zero-initialized; the skipped per-node draws are all
+			// Binomial(0, ·) = 0 from independent streams, so pruning
+			// the subtree changes no value.
+			return
+		}
 		if hi-lo == 1 {
 			p[lo] = m
 			return

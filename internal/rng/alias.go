@@ -1,0 +1,119 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Alias is a Vose alias table over a finite non-negative weight vector:
+// Draw returns index i with probability w_i/Σw in O(1) draws and O(1)
+// work, after O(n) construction. It is the weighted with-replacement
+// sampling primitive — build one table per worker (tables are read-only
+// after construction, so concurrent Draws on separate generators are
+// safe) and consume it with batched raw draws via Pick.
+//
+// Construction follows Vose's two-worklist scheme: each bucket i keeps
+// an acceptance threshold and an alias; a uniform bucket plus one
+// Bernoulli acceptance draw reproduces the weighted law exactly up to
+// the fixed-point quantization of the thresholds (2^-53 per bucket,
+// the same resolution as a Float64 compare).
+type Alias struct {
+	prob []uint64 // fixed-point acceptance threshold per bucket (2^53 scale)
+	alt  []int32  // alias taken when the acceptance draw fails
+}
+
+// maxAliasBuckets bounds the table size so bucket indices fit int32.
+const maxAliasBuckets = 1 << 31
+
+// NewAlias builds the alias table for the given weights. Weights must
+// be finite and non-negative with a positive sum; zero-weight buckets
+// are valid (they are never returned). An empty or all-zero weight
+// vector is a construction error: there is no distribution to sample.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: alias table needs at least one weight")
+	}
+	if n >= maxAliasBuckets {
+		return nil, fmt.Errorf("rng: alias table size %d exceeds %d buckets", n, maxAliasBuckets)
+	}
+	var sum float64
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("rng: alias weight[%d] = %v is not a finite non-negative number", i, w)
+		}
+		sum += w
+	}
+	if !(sum > 0) {
+		return nil, fmt.Errorf("rng: alias weights sum to %v; need a positive total", sum)
+	}
+	a := &Alias{prob: make([]uint64, n), alt: make([]int32, n)}
+	// Scaled weights s_i = w_i·n/Σw average to 1; buckets below 1 are
+	// "small" (they keep their own mass and borrow the rest), buckets
+	// above are "large" (they lend mass to smalls until they drop below
+	// 1 themselves). Indices are processed in ascending order within
+	// each worklist, so the table is a pure function of the weights.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = FixedThreshold(scaled[s])
+		a.alt[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers (either list) have residual mass 1 up to rounding:
+	// accept always, alias to self.
+	for _, i := range small {
+		a.prob[i] = 1 << 53
+		a.alt[i] = i
+	}
+	for _, i := range large {
+		a.prob[i] = 1 << 53
+		a.alt[i] = i
+	}
+	return a, nil
+}
+
+// Len returns the number of buckets.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw consumes exactly two draws from g — a uniform bucket via the
+// unbiased Lemire method and one fixed-point acceptance draw — and
+// returns an index distributed by the table's weights.
+func (a *Alias) Draw(g *Xoshiro256) int {
+	i := g.Int64n(int64(len(a.prob)))
+	if g.Below(a.prob[i]) {
+		return int(i)
+	}
+	return int(a.alt[i])
+}
+
+// Pick resolves one sample from two caller-supplied raw draws — the
+// batched-consumption form for callers that Fill a buffer of uniforms
+// and walk it. The bucket comes from the high product bits of u1
+// (bias below n·2^-64, the standard fixed-draw-count trade against
+// Draw's rejection loop); the acceptance compare is the fixed-point
+// Below on u2.
+func (a *Alias) Pick(u1, u2 uint64) int {
+	i, _ := bits.Mul64(u1, uint64(len(a.prob)))
+	if u2>>11 < a.prob[i] {
+		return int(i)
+	}
+	return int(a.alt[i])
+}

@@ -1,0 +1,172 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAliasRejectsDegenerateWeights checks the construction errors: no
+// buckets, non-finite or negative entries, and an all-zero total.
+func TestAliasRejectsDegenerateWeights(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+		{1, -0.5},
+	}
+	for _, w := range bad {
+		if a, err := NewAlias(w); err == nil {
+			t.Fatalf("NewAlias(%v) = %v, want error", w, a)
+		}
+	}
+}
+
+// TestAliasSingleBucket checks the one-bucket table: every draw returns
+// index 0 and consumes exactly two draws, so batched consumers can rely
+// on the fixed draw shape even in the degenerate case.
+func TestAliasSingleBucket(t *testing.T) {
+	a, err := NewAlias([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(3)
+	for i := 0; i < 100; i++ {
+		if got := a.Draw(g); got != 0 {
+			t.Fatalf("draw %d: single-bucket table returned %d", i, got)
+		}
+	}
+	if got := a.Pick(0xdeadbeef, 0x12345678); got != 0 {
+		t.Fatalf("Pick on single-bucket table returned %d", got)
+	}
+}
+
+// TestAliasZeroWeightBucketsNeverDrawn checks buckets with weight zero
+// are unreachable through both consumption paths.
+func TestAliasZeroWeightBucketsNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 3, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(17)
+	var us [2]uint64
+	for i := 0; i < 50000; i++ {
+		if got := a.Draw(g); got == 0 || got == 2 || got == 4 {
+			t.Fatalf("draw %d: zero-weight bucket %d drawn", i, got)
+		}
+		g.Fill(us[:])
+		if got := a.Pick(us[0], us[1]); got == 0 || got == 2 || got == 4 {
+			t.Fatalf("pick %d: zero-weight bucket %d drawn", i, got)
+		}
+	}
+}
+
+// TestAliasChiSquare draws from tables over several weight shapes —
+// uniform, power-law, one dominant bucket, many zero buckets — and
+// checks the empirical frequencies against the exact row weights with a
+// chi-square test. The 99.9th percentile of chi²_k is about
+// k + 6.2·sqrt(k) + 15 for the k ranges used here, so a fixed-seed run
+// failing the bound indicates a real bias, not noise.
+func TestAliasChiSquare(t *testing.T) {
+	shapes := map[string][]float64{
+		"uniform":  {1, 1, 1, 1, 1, 1, 1, 1},
+		"powerlaw": {512, 128, 32, 8, 2, 1, 1, 1},
+		"dominant": {1000, 1, 1, 1},
+		"sparse":   {0, 5, 0, 0, 1, 0, 3, 0, 0, 1},
+	}
+	for name, w := range shapes {
+		a, err := NewAlias(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		const draws = 200000
+		countDraw := make([]int64, len(w))
+		countPick := make([]int64, len(w))
+		g := New(2024)
+		var us [2]uint64
+		for i := 0; i < draws; i++ {
+			countDraw[a.Draw(g)]++
+			g.Fill(us[:])
+			countPick[a.Pick(us[0], us[1])]++
+		}
+		for path, count := range map[string][]int64{"Draw": countDraw, "Pick": countPick} {
+			var chi2 float64
+			dof := -1
+			for i, x := range w {
+				if x == 0 {
+					if count[i] != 0 {
+						t.Fatalf("%s/%s: zero-weight bucket %d has %d draws", name, path, i, count[i])
+					}
+					continue
+				}
+				expect := float64(draws) * x / sum
+				d := float64(count[i]) - expect
+				chi2 += d * d / expect
+				dof++
+			}
+			if bound := float64(dof) + 6.2*math.Sqrt(float64(dof)) + 15; chi2 > bound {
+				t.Errorf("%s/%s: chi² = %v over %d dof exceeds %v", name, path, chi2, dof, bound)
+			}
+		}
+	}
+}
+
+// TestAliasDeterministic checks the table is a pure function of the
+// weights and the draw sequence a pure function of the generator state.
+func TestAliasDeterministic(t *testing.T) {
+	w := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a1, err := NewAlias(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewAlias(w)
+	g1, g2 := New(77), New(77)
+	for i := 0; i < 1000; i++ {
+		if x, y := a1.Draw(g1), a2.Draw(g2); x != y {
+			t.Fatalf("draw %d: identical tables and states disagree (%d vs %d)", i, x, y)
+		}
+	}
+}
+
+// TestReseedMatchesNew checks Reseed reproduces New's state exactly —
+// the property that lets retracing loops drop the per-step allocation
+// without moving a draw.
+func TestReseedMatchesNew(t *testing.T) {
+	var g Xoshiro256
+	for _, seed := range []uint64{0, 1, 42, 1<<63 + 12345, ^uint64(0)} {
+		g.Reseed(seed)
+		if want := New(seed); g.s != want.s {
+			t.Fatalf("Reseed(%d) state %v, New gives %v", seed, g.s, want.s)
+		}
+	}
+	// Interleave with draws: Reseed must fully overwrite prior state.
+	g.Reseed(5)
+	g.Uint64()
+	g.Reseed(5)
+	if want := New(5); g.s != want.s {
+		t.Fatal("Reseed after draws does not reset to the New state")
+	}
+}
+
+// TestReseedStream2MatchesNewStream2 checks the in-place two-level
+// stream derivation is bit-identical to NewStream2.
+func TestReseedStream2MatchesNewStream2(t *testing.T) {
+	var g Xoshiro256
+	cases := [][3]uint64{
+		{0, 0, 0},
+		{42, 0x636c_7501, 7},
+		{^uint64(0), 0x6261_0001, 1 << 40},
+		{12345, 99, ^uint64(0)},
+	}
+	for _, c := range cases {
+		g.ReseedStream2(c[0], c[1], c[2])
+		if want := NewStream2(c[0], c[1], c[2]); g.s != want.s {
+			t.Fatalf("ReseedStream2(%v) state %v, NewStream2 gives %v", c, g.s, want.s)
+		}
+	}
+}

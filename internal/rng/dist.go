@@ -94,12 +94,15 @@ func (g *Xoshiro256) binomialNormal(n int64, p float64) int64 {
 }
 
 // binomialCount counts successes in n trials via geometric skips:
-// O(expected successes) draws. Requires 0 < p <= 0.5.
+// O(expected successes) draws. Requires 0 < p <= 0.5. The skip
+// denominator log1p(-p) is hoisted out of the loop — GeometricLog is
+// draw-for-draw identical to Geometric, so the samples are unchanged.
 func (g *Xoshiro256) binomialCount(n int64, p float64) int64 {
+	log1mP := math.Log1p(-p)
 	var k, t int64
 	t = -1
 	for {
-		t += 1 + g.Geometric(p)
+		t += 1 + g.GeometricLog(log1mP)
 		if t >= n {
 			return k
 		}
@@ -272,6 +275,17 @@ func (g *Xoshiro256) HyperbolicRadius(invAlpha, coshLo, span float64) float64 {
 // streams; the derivation is a pure function of its arguments, which is
 // what lets any worker recompute any stream with no communication.
 func NewStream2(seed, namespace, id uint64) *Xoshiro256 {
+	var g Xoshiro256
+	g.ReseedStream2(seed, namespace, id)
+	return &g
+}
+
+// ReseedStream2 re-initializes g in place to the exact state
+// NewStream2(seed, namespace, id) would return — the allocation-free
+// form for retracing loops that open a fresh per-element stream on
+// every step. Bit-identical state derivation, so callers on byte-pinned
+// streams can adopt it without moving a draw.
+func (g *Xoshiro256) ReseedStream2(seed, namespace, id uint64) {
 	h := Mix64(seed ^ (namespace * 0x9e3779b97f4a7c15) + 0x2545f4914f6cdd1d)
-	return New(Mix64(h ^ (id * 0x9e3779b97f4a7c15) + 0x2545f4914f6cdd1d))
+	g.Reseed(Mix64(h ^ (id * 0x9e3779b97f4a7c15) + 0x2545f4914f6cdd1d))
 }

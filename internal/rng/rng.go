@@ -51,8 +51,18 @@ type Xoshiro256 struct {
 // New returns a Xoshiro256 generator seeded from seed via SplitMix64, per
 // the authors' recommendation. Any seed (including 0) is valid.
 func New(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
 	var g Xoshiro256
+	g.Reseed(seed)
+	return &g
+}
+
+// Reseed re-initializes g in place to the exact state New(seed) would
+// return — the allocation-free form for hot loops that derive a fresh
+// stream per element (e.g. per-edge-position hash streams): one value
+// generator reseeded per element replaces one heap allocation per
+// element, with bit-identical state and therefore bit-identical draws.
+func (g *Xoshiro256) Reseed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range g.s {
 		g.s[i] = sm.Next()
 	}
@@ -61,7 +71,6 @@ func New(seed uint64) *Xoshiro256 {
 	if g.s[0]|g.s[1]|g.s[2]|g.s[3] == 0 {
 		g.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &g
 }
 
 // NewStream returns a generator for logical stream id derived from seed.
