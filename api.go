@@ -12,6 +12,7 @@ import (
 	"kronvalid/internal/graph"
 	"kronvalid/internal/kron"
 	"kronvalid/internal/model"
+	"kronvalid/internal/serve"
 	"kronvalid/internal/sparse"
 	"kronvalid/internal/stats"
 	"kronvalid/internal/stream"
@@ -623,3 +624,32 @@ func MaxDegreeRatio(degrees []int64) float64 { return stats.MaxDegreeRatio(degre
 // HillEstimator estimates a heavy-tail exponent from the k largest
 // observations.
 func HillEstimator(values []int64, k int) float64 { return stats.HillEstimator(values, k) }
+
+// ---- generation service (content-addressed cache + job server) ----
+
+// GenService is the long-running generation service: an HTTP JSON API
+// that validates model specs, schedules generation jobs on a bounded
+// worker pool with per-job cancellation and queue-depth admission
+// control, and serves results out of a content-addressed shard cache
+// (deterministic generation makes a canonical spec string a complete
+// address for its stream). Mount Handler() on an http.Server and Close
+// on shutdown; cmd/genserve is the standalone binary.
+type GenService = serve.Server
+
+// GenServiceConfig tunes the generation service: cache directory and
+// byte budget, worker-pool and queue sizes, and generation parallelism.
+type GenServiceConfig = serve.Config
+
+// GenJob is the JSON view of one service job (state, progress, cache
+// provenance, result location).
+type GenJob = serve.JobView
+
+// NewGenService opens (or recovers) the shard cache under cfg.Dir and
+// starts the service's worker pool.
+func NewGenService(cfg GenServiceConfig) (*GenService, error) { return serve.NewServer(cfg) }
+
+// GenCacheKey returns the content address of one canonical arc stream
+// in one serialization format ("tsv" or "binary"): sha256 over the
+// format and the generator's canonical Name(). Spec spellings that
+// parse to the same generator share an address; formats do not.
+func GenCacheKey(name, format string) string { return serve.CacheKey(name, format) }

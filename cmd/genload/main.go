@@ -1,0 +1,343 @@
+// Genload load-tests a running genserve instance with a configurable
+// mix of hot requests (one fixed spec, cache-resident after the first
+// miss), cold requests (a spec template stamped with unique seeds, so
+// every one is a fresh generation), and cancel requests (a cold job
+// cancelled mid-generation, exercising the abort contract under load).
+//
+// It reports served-arc throughput separately for hot and cold traffic:
+// hot rate is Σ downloaded arcs / Σ hot request wall time, cold rate is
+// Σ generated arcs / Σ cold request wall time (submit to terminal
+// state). The ratio between them is the service's case: a cache hit
+// replays bytes instead of regenerating, so hot throughput should beat
+// cold by a wide margin. -min-hot-ratio turns that into an exit code
+// for CI.
+//
+// Usage:
+//
+//	genload -url http://localhost:8080 \
+//	        -hot 'rmat:scale=16,edges=4194304,seed=7' \
+//	        -cold 'rmat:scale=14,edges=1048576' \
+//	        -clients 8 -duration 10s -cold-frac 0.2 -cancel-frac 0.1 \
+//	        -min-hot-ratio 5
+//
+// The -cold template must use the colon spec form and omit seed; each
+// cold request appends a unique ",seed=N".
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+// class accumulates one traffic class's results.
+type class struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	arcs     atomic.Int64
+	bytes    atomic.Int64
+	nanos    atomic.Int64 // summed request wall time
+}
+
+func (c *class) rate() float64 {
+	ns := c.nanos.Load()
+	if ns == 0 {
+		return 0
+	}
+	return float64(c.arcs.Load()) / (float64(ns) / float64(time.Second))
+}
+
+type report struct {
+	Duration        float64 `json:"duration_sec"`
+	Clients         int     `json:"clients"`
+	HotRequests     int64   `json:"hot_requests"`
+	HotHits         int64   `json:"hot_hits"`
+	HotArcs         int64   `json:"hot_arcs"`
+	HotBytes        int64   `json:"hot_bytes"`
+	HotArcsPerSec   float64 `json:"hot_arcs_per_sec"`
+	ColdRequests    int64   `json:"cold_requests"`
+	ColdArcs        int64   `json:"cold_arcs"`
+	ColdArcsPerSec  float64 `json:"cold_arcs_per_sec"`
+	Cancels         int64   `json:"cancels"`
+	CancelsLanded   int64   `json:"cancels_landed"`
+	Rejected        int64   `json:"rejected_429"`
+	Errors          int64   `json:"errors"`
+	HotColdRatio    float64 `json:"hot_cold_ratio"`
+	ServerHitRatio  float64 `json:"server_hit_ratio"`
+	ServerEvictions int64   `json:"server_evictions"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genload: ")
+	url := flag.String("url", "http://localhost:8080", "genserve base URL")
+	hot := flag.String("hot", "rmat:scale=14,edges=1048576,seed=7", "hot spec (cache-resident after first miss)")
+	cold := flag.String("cold", "rmat:scale=12,edges=262144", "cold spec template; unique ,seed=N appended per request")
+	format := flag.String("format", "binary", "result format: binary or tsv")
+	clients := flag.Int("clients", 4, "concurrent client goroutines")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	coldFrac := flag.Float64("cold-frac", 0.2, "fraction of requests that are cold generations")
+	cancelFrac := flag.Float64("cancel-frac", 0.1, "fraction of requests that cancel a cold job mid-generation")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	minHotRatio := flag.Float64("min-hot-ratio", 0, "exit nonzero unless hot rate ≥ this multiple of cold rate")
+	flag.Parse()
+	if strings.Contains(*cold, "seed=") {
+		log.Fatal("-cold template must omit seed; genload appends unique seeds")
+	}
+
+	var hotC, coldC class
+	var hotHits, cancels, cancelsLanded, rejected atomic.Int64
+	var seedCounter atomic.Int64
+	seedCounter.Store(time.Now().UnixNano() % 1_000_000_000)
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Prime the hot spec so the measured window is pure hit traffic.
+	if _, _, _, err := runJob(client, *url, *hot, *format, true); err != nil {
+		log.Fatalf("priming hot spec: %v", err)
+	}
+
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	wg.Add(*clients)
+	for i := 0; i < *clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			for time.Now().Before(stop) {
+				r := rng.Float64()
+				switch {
+				case r < *cancelFrac:
+					cancels.Add(1)
+					spec := fmt.Sprintf("%s,seed=%d", *cold, seedCounter.Add(1))
+					if landed, err := cancelJob(client, *url, spec, *format); err == nil && landed {
+						cancelsLanded.Add(1)
+					}
+				case r < *cancelFrac+*coldFrac:
+					start := time.Now()
+					arcs, _, _, err := runJob(client, *url,
+						fmt.Sprintf("%s,seed=%d", *cold, seedCounter.Add(1)), *format, false)
+					record(&coldC, arcs, 0, time.Since(start), err, &rejected)
+				default:
+					start := time.Now()
+					arcs, nbytes, cached, err := runJob(client, *url, *hot, *format, true)
+					record(&hotC, arcs, nbytes, time.Since(start), err, &rejected)
+					if err == nil && cached {
+						hotHits.Add(1)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	rep := report{
+		Duration:       duration.Seconds(),
+		Clients:        *clients,
+		HotRequests:    hotC.requests.Load(),
+		HotHits:        hotHits.Load(),
+		HotArcs:        hotC.arcs.Load(),
+		HotBytes:       hotC.bytes.Load(),
+		HotArcsPerSec:  hotC.rate(),
+		ColdRequests:   coldC.requests.Load(),
+		ColdArcs:       coldC.arcs.Load(),
+		ColdArcsPerSec: coldC.rate(),
+		Cancels:        cancels.Load(),
+		CancelsLanded:  cancelsLanded.Load(),
+		Rejected:       rejected.Load(),
+		Errors:         hotC.errors.Load() + coldC.errors.Load(),
+	}
+	if rep.ColdArcsPerSec > 0 {
+		rep.HotColdRatio = rep.HotArcsPerSec / rep.ColdArcsPerSec
+	}
+	rep.ServerHitRatio, rep.ServerEvictions = scrapeServer(client, *url)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("hot:   %d requests (%d hits), %.3g arcs/s (%.1f MB/s)\n",
+			rep.HotRequests, rep.HotHits, rep.HotArcsPerSec,
+			float64(rep.HotBytes)/rep.Duration/(1<<20))
+		fmt.Printf("cold:  %d requests, %.3g arcs/s\n", rep.ColdRequests, rep.ColdArcsPerSec)
+		fmt.Printf("mixed: %d cancels (%d landed mid-job), %d rejected (429), %d errors\n",
+			rep.Cancels, rep.CancelsLanded, rep.Rejected, rep.Errors)
+		fmt.Printf("ratio: hot/cold = %.1fx, server hit ratio %.3f, evictions %d\n",
+			rep.HotColdRatio, rep.ServerHitRatio, rep.ServerEvictions)
+	}
+	if *minHotRatio > 0 {
+		if rep.ColdArcsPerSec == 0 {
+			log.Fatal("no cold throughput measured; cannot check -min-hot-ratio")
+		}
+		if rep.HotColdRatio < *minHotRatio {
+			log.Fatalf("hot/cold ratio %.2f below required %.2f", rep.HotColdRatio, *minHotRatio)
+		}
+	}
+}
+
+var errRejected = errors.New("rejected")
+
+func record(c *class, arcs, nbytes int64, elapsed time.Duration, err error, rejected *atomic.Int64) {
+	if errors.Is(err, errRejected) {
+		rejected.Add(1)
+		return
+	}
+	c.requests.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	c.arcs.Add(arcs)
+	c.bytes.Add(nbytes)
+	c.nanos.Add(int64(elapsed))
+}
+
+// submit POSTs a job, returning the view; a 429 maps to errRejected.
+func submit(client *http.Client, base, spec, format string) (jobView, error) {
+	body, _ := json.Marshal(map[string]string{"spec": spec, "format": format})
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return jobView{}, errRejected
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		return jobView{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var v jobView
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+// runJob submits spec, waits for completion, and (when download is set)
+// streams the result, returning (arcs, downloadedBytes, cacheHit).
+func runJob(client *http.Client, base, spec, format string, download bool) (int64, int64, bool, error) {
+	v, err := submit(client, base, spec, format)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for v.State != "done" {
+		switch v.State {
+		case "failed", "cancelled":
+			return 0, 0, false, fmt.Errorf("job %s %s: %s", v.ID, v.State, v.Error)
+		}
+		if v, err = poll(client, base, v.ID, "5s"); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	if !download {
+		return arcsOf(client, base, v.ID)
+	}
+	resp, err := client.Get(base + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		return 0, 0, v.Cached, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0, v.Cached, fmt.Errorf("result: HTTP %d", resp.StatusCode)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	arcs, _ := strconv.ParseInt(resp.Header.Get("X-Genserve-Arcs"), 10, 64)
+	return arcs, n, v.Cached, err
+}
+
+// arcsOf reads the job's arc count from its terminal view.
+func arcsOf(client *http.Client, base, id string) (int64, int64, bool, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	var v struct {
+		ArcsDone int64 `json:"arcs_done"`
+		Cached   bool  `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return 0, 0, false, err
+	}
+	return v.ArcsDone, 0, v.Cached, nil
+}
+
+func poll(client *http.Client, base, id, wait string) (jobView, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "?wait=" + wait)
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return jobView{}, fmt.Errorf("status: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var v jobView
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+// cancelJob submits a cold job and cancels it as soon as it is seen
+// running; landed reports whether the cancel caught the job before a
+// terminal state.
+func cancelJob(client *http.Client, base, spec, format string) (bool, error) {
+	v, err := submit(client, base, spec, format)
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < 100 && v.State == "queued"; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if v, err = poll(client, base, v.ID, ""); err != nil {
+			return false, err
+		}
+	}
+	resp, err := client.Post(base+"/v1/jobs/"+v.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var out jobView
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, err
+	}
+	if out.State == "cancelled" {
+		return true, nil
+	}
+	out, err = poll(client, base, v.ID, "30s")
+	return err == nil && out.State == "cancelled", err
+}
+
+// scrapeServer pulls hit ratio and evictions from /v1/cache.
+func scrapeServer(client *http.Client, base string) (float64, int64) {
+	resp, err := client.Get(base + "/v1/cache")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var v struct {
+		HitRatio  float64 `json:"hit_ratio"`
+		Evictions int64   `json:"evictions"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&v) != nil {
+		return 0, 0
+	}
+	return v.HitRatio, v.Evictions
+}

@@ -1,0 +1,123 @@
+// Genserve runs the generation service: an HTTP JSON API that accepts
+// model spec strings, schedules generation jobs on a bounded worker
+// pool, and serves results out of a content-addressed shard cache.
+// Because generation is deterministic — a canonical spec string fully
+// reproduces every byte of the stream — repeated requests for the same
+// generator are answered from cache without regenerating, concurrent
+// identical requests share one job (singleflight), and the cache can be
+// evicted freely: any entry is recomputable on demand.
+//
+// Usage:
+//
+//	genserve -addr :8080 -cache /var/cache/genserve -cache-bytes 4g
+//
+// API (JSON unless noted):
+//
+//	POST /v1/jobs                {"spec": "rmat:scale=20,seed=7", "format": "binary"}
+//	GET  /v1/jobs/{id}           ?wait=2s long-polls until terminal
+//	POST /v1/jobs/{id}/cancel
+//	GET  /v1/jobs/{id}/result    the canonical concatenated arc stream
+//	GET  /v1/jobs/{id}/manifest
+//	GET  /v1/count?spec=…        closed-form / cached / exact arc counts
+//	GET  /v1/digest?spec=…       canonical stream digest (cache-accelerated)
+//	GET  /v1/models  /v1/cache  /v1/jobs
+//	GET  /metrics                Prometheus text format
+//	GET  /healthz
+//
+// Admission control returns 429 once the queued backlog reaches -queue;
+// cancelled or failed jobs leave no cache entry (the abort contract:
+// no manifest, no entry). SIGINT/SIGTERM drains cleanly: the listener
+// stops, in-flight jobs are cancelled, and their staging directories
+// are removed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"kronvalid/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache", "", "cache directory (required)")
+	cacheBytes := flag.String("cache-bytes", "0", "cache byte budget, e.g. 512m, 4g (0 = unlimited)")
+	workers := flag.Int("workers", 2, "jobs generating concurrently")
+	genWorkers := flag.Int("gen-workers", 0, "generation threads per job (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued-job cap; submissions beyond it get 429")
+	shards := flag.Int("shards", 0, "shard files per cache entry (0 = GOMAXPROCS; layout only)")
+	flag.Parse()
+
+	if *cacheDir == "" {
+		log.Fatal("-cache is required")
+	}
+	budget, err := parseBytes(*cacheBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Dir:          *cacheDir,
+		CacheBytes:   budget,
+		Workers:      *workers,
+		GenWorkers:   *genWorkers,
+		QueueDepth:   *queue,
+		ShardsPerJob: *shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (cache %s, budget %s)", *addr, *cacheDir, *cacheBytes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+	case err := <-errc:
+		srv.Close()
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close() // cancels in-flight jobs, removes their staging dirs
+}
+
+// parseBytes parses a byte count with an optional k/m/g/t suffix.
+func parseBytes(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("byte size %q is not a non-negative integer with optional k/m/g/t suffix", s)
+	}
+	return n * mult, nil
+}

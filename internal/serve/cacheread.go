@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"kronvalid/internal/gio"
+	"kronvalid/internal/stream"
+)
+
+// digestEntry derives a cache entry's arc digest by re-reading its
+// committed shard bytes — IO-bound, no generation. The shard files in
+// index order are the canonical stream, which is exactly what the
+// digest sink fingerprints.
+func digestEntry(ctx context.Context, e *Entry) (string, error) {
+	sink := gio.NewArcDigestSink(e.vertices, e.arcs)
+	if err := streamEntry(ctx, e, sink); err != nil {
+		return "", err
+	}
+	if err := sink.Flush(); err != nil {
+		return "", err
+	}
+	return sink.Digest()
+}
+
+// streamEntry replays a committed entry's canonical arc stream from its
+// shard files into sink (without the final Flush, which stays with the
+// caller). Binary shards decode in fixed-size batches; TSV shards parse
+// through the shared reader.
+func streamEntry(ctx context.Context, e *Entry, sink stream.Sink) error {
+	for _, path := range e.ShardPaths() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		if e.format == "binary" {
+			err = streamBinaryArcs(ctx, f, sink)
+		} else {
+			var arcs []stream.Arc
+			arcs, err = gio.ReadArcsText(f)
+			if err == nil {
+				err = sink.Consume(arcs)
+			}
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("serve: %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// streamBinaryArcs decodes 16-byte little-endian arc records in
+// batches. A trailing partial record is a truncation error — a cached
+// file that fails this was torn outside the store's invariants.
+func streamBinaryArcs(ctx context.Context, r io.Reader, sink stream.Sink) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	buf := make([]byte, 16*stream.DefaultBatchSize)
+	batch := make([]stream.Arc, 0, stream.DefaultBatchSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err == io.ErrUnexpectedEOF && n%16 != 0 {
+			return fmt.Errorf("truncated binary arc stream: %d trailing bytes", n%16)
+		}
+		if err != nil && err != io.ErrUnexpectedEOF {
+			return err
+		}
+		batch = batch[:0]
+		for off := 0; off+16 <= n; off += 16 {
+			batch = append(batch, stream.Arc{
+				U: int64(binary.LittleEndian.Uint64(buf[off:])),
+				V: int64(binary.LittleEndian.Uint64(buf[off+8:])),
+			})
+		}
+		if cerr := sink.Consume(batch); cerr != nil {
+			return cerr
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil
+		}
+	}
+}

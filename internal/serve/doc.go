@@ -1,0 +1,35 @@
+// Package serve is the long-running generation service built on the
+// paper's central property: any shard of any registered graph is
+// recomputable from (seed, chunk id) alone, so a generator's canonical
+// spec string — the stable Name() every pipeline Source carries — is a
+// complete content address for its canonical arc stream. The service
+// turns that address into a system:
+//
+//   - Store is a content-addressed shard cache keyed by
+//     sha256(format, Name()). Each entry is a WriteShards output
+//     directory (shard files plus manifest.json) committed by atomic
+//     rename-into-place; the manifest is written last inside the
+//     staging directory and the rename publishes it as one unit, so a
+//     partially generated job is never visible under the cache root.
+//     Entries are evicted least-recently-used against a byte budget,
+//     manifest removed first so a torn eviction degrades to the same
+//     "no manifest = no entry" state the abort contract guarantees.
+//
+//   - Manager schedules generation jobs on a bounded worker pool with
+//     per-job context cancellation, queue-depth admission control, and
+//     singleflight deduplication: concurrent submissions of the same
+//     content address attach to one job. Job progress (arcs emitted,
+//     shards done) is published through atomics because the HTTP
+//     status handler reads it while the generation pipeline's
+//     Progress callback writes it.
+//
+//   - Server exposes the JSON/HTTP API: submit, status (with optional
+//     long-poll), cancel, result download (the canonical concatenated
+//     stream served straight from cached shard files), manifest,
+//     Count and Digest fast paths, cache introspection, Prometheus
+//     text /metrics, and /healthz.
+//
+// The package deliberately imports only internal packages (model,
+// distgen, stream, gio) and not the public kronvalid root, so the root
+// package can re-export the service without an import cycle.
+package serve

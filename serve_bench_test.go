@@ -1,0 +1,154 @@
+package kronvalid
+
+// BenchmarkServe measures the generation service's two serving regimes
+// over real HTTP (httptest loopback), the numbers the load-test
+// harness (cmd/genload) checks in ratio form:
+//
+//   hot-hit    submit + download of a cache-resident spec — replaying
+//              committed shard bytes, no generation
+//   cold-miss  submit + completion of a never-seen spec (unique seed
+//              per iteration) — full generation, staging, and commit
+//
+// Rows live in BENCH_baseline.json and are gated by cmd/benchdiff in
+// CI alongside the pipeline benchmarks.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kronvalid/internal/serve"
+)
+
+// serveColdSeed survives across benchmark calibration runs within one
+// process, so -benchtime 2x -count 3 never resubmits a seed and every
+// cold iteration is a genuine miss.
+var serveColdSeed atomic.Int64
+
+func serveBenchSubmit(b *testing.B, base, spec string) serve.JobView {
+	b.Helper()
+	body, _ := json.Marshal(map[string]string{"spec": spec, "format": "binary"})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		b.Fatalf("submit: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var v serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+func serveBenchWait(b *testing.B, base, id string) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?wait=5s")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var v serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch v.State {
+		case "done":
+			return
+		case "failed", "cancelled":
+			b.Fatalf("job %s %s: %s", id, v.State, v.Error)
+		}
+	}
+	b.Fatalf("job %s did not finish", id)
+}
+
+func BenchmarkServe(b *testing.B) {
+	newService := func(b *testing.B) string {
+		b.Helper()
+		s, err := NewGenService(GenServiceConfig{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		return ts.URL
+	}
+
+	b.Run("hot-hit", func(b *testing.B) {
+		base := newService(b)
+		const spec = "rmat:scale=14,edges=262144,seed=7"
+		prime := serveBenchSubmit(b, base, spec)
+		serveBenchWait(b, base, prime.ID)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var arcs, served int64
+		for i := 0; i < b.N; i++ {
+			v := serveBenchSubmit(b, base, spec)
+			if !v.Cached {
+				b.Fatal("hot submission missed the cache")
+			}
+			resp, err := http.Get(base + v.Result)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				b.Fatalf("download: HTTP %d, %v", resp.StatusCode, err)
+			}
+			served = n
+			arcs, _ = strconv.ParseInt(resp.Header.Get("X-Genserve-Arcs"), 10, 64)
+		}
+		b.SetBytes(served)
+		b.ReportMetric(float64(arcs), "arcs/op")
+	})
+
+	b.Run("cold-miss", func(b *testing.B) {
+		base := newService(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var arcs int64
+		for i := 0; i < b.N; i++ {
+			spec := fmt.Sprintf("rmat:scale=12,edges=65536,seed=%d", 1000+serveColdSeed.Add(1))
+			v := serveBenchSubmit(b, base, spec)
+			if v.Cached {
+				b.Fatal("cold submission hit the cache")
+			}
+			serveBenchWait(b, base, v.ID)
+			final := serveBenchStatus(b, base, v.ID)
+			arcs = final.ArcsDone
+		}
+		b.SetBytes(arcs * 16)
+		b.ReportMetric(float64(arcs), "arcs/op")
+	})
+}
+
+func serveBenchStatus(b *testing.B, base, id string) serve.JobView {
+	b.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
